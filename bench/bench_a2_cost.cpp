@@ -1,0 +1,37 @@
+// Appendix A.2: CapEx comparison of the commodity RANBooster deployment
+// (Cambridge: 16 RUs over four floors) vs a conventional DAS quote.
+#include "bench_util.h"
+
+int main() {
+  using namespace rb;
+  using namespace rb::bench;
+  header("Appendix A.2 - RANBooster cost benefits",
+         "SIGCOMM'25 RANBooster Appendix A.2");
+  CostModel cm;
+  // The paper prices 15,403 sqft per floor x 5 floors (A.2) - the gross
+  // floor area, larger than the RU-covered 50.9 m x 20.9 m core.
+  const double sqft = 15'403.0 * 5;
+  row("deployment area: %.0f sqft (paper: 77,015 sqft over 5 floors)", sqft);
+  row("");
+  row("RANBooster commodity BOM:");
+  row("  %2d RUs @ $%.0f                 : $%8.0f", cm.n_rus, cm.ru_unit_usd,
+      cm.n_rus * cm.ru_unit_usd);
+  row("  cabling + building work       : $%8.0f",
+      cm.cabling_and_building_usd);
+  row("  fronthaul switch              : $%8.0f", cm.switch_usd);
+  row("  PTP grandmaster               : $%8.0f", cm.grandmaster_usd);
+  row("  %d NICs @ $%.0f                : $%8.0f", cm.n_nics, cm.nic_usd,
+      cm.n_nics * cm.nic_usd);
+  row("  %d middlebox CPU cores @ $%.0f : $%8.0f", cm.middlebox_cores,
+      cm.middlebox_core_usd, cm.middlebox_cores * cm.middlebox_core_usd);
+  row("  BOM total                     : $%8.0f  (paper: ~$60,000)",
+      cm.ranbooster_bom_usd());
+  row("  with %.0f%% vendor margin      : $%8.0f", 100.0 * cm.vendor_margin,
+      cm.ranbooster_price_usd());
+  row("");
+  row("conventional DAS at $%.1f/sqft   : $%8.0f  (paper: ~$154,000)",
+      cm.das_usd_per_sqft, cm.conventional_das_usd(sqft));
+  row("");
+  row("RANBooster saving: %.1f%%  (paper: 41%%)", cm.savings_pct(sqft));
+  return 0;
+}

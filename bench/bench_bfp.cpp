@@ -1,0 +1,104 @@
+// Microbenchmark: BFP codec throughput (the per-PRB kernels every A4
+// payload action is built on), across mantissa widths and PRB counts.
+#include <benchmark/benchmark.h>
+
+#include "iq/prb.h"
+
+namespace rb {
+namespace {
+
+std::vector<IqSample> make_samples(int n_prb, std::uint32_t seed) {
+  std::vector<IqSample> v(std::size_t(n_prb) * kScPerPrb);
+  std::uint32_t rng = seed;
+  for (auto& s : v) {
+    rng = rng * 1664525u + 1013904223u;
+    s.i = std::int16_t(rng >> 18);
+    rng = rng * 1664525u + 1013904223u;
+    s.q = std::int16_t(rng >> 18);
+  }
+  return v;
+}
+
+void BM_BfpCompress(benchmark::State& state) {
+  const int n_prb = int(state.range(0));
+  const int width = int(state.range(1));
+  const CompConfig cfg{CompMethod::BlockFloatingPoint, width};
+  auto samples = make_samples(n_prb, 1);
+  std::vector<std::uint8_t> out(cfg.prb_bytes() * std::size_t(n_prb));
+  for (auto _ : state) {
+    auto r = compress_prbs(IqConstSpan(samples.data(), samples.size()), cfg,
+                           out);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n_prb);
+}
+BENCHMARK(BM_BfpCompress)
+    ->Args({106, 9})
+    ->Args({273, 9})
+    ->Args({273, 14});
+
+void BM_BfpDecompress(benchmark::State& state) {
+  const int n_prb = int(state.range(0));
+  const int width = int(state.range(1));
+  const CompConfig cfg{CompMethod::BlockFloatingPoint, width};
+  auto samples = make_samples(n_prb, 2);
+  std::vector<std::uint8_t> comp(cfg.prb_bytes() * std::size_t(n_prb));
+  compress_prbs(IqConstSpan(samples.data(), samples.size()), cfg, comp);
+  std::vector<IqSample> out(samples.size());
+  for (auto _ : state) {
+    auto r = decompress_prbs(comp, n_prb, cfg,
+                             IqSpan(out.data(), out.size()));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n_prb);
+}
+BENCHMARK(BM_BfpDecompress)
+    ->Args({106, 9})
+    ->Args({273, 9})
+    ->Args({273, 14});
+
+void BM_ExponentScan(benchmark::State& state) {
+  // Algorithm 1's primitive: exponent read without decompression.
+  const int n_prb = 273;
+  const CompConfig cfg{CompMethod::BlockFloatingPoint, 9};
+  auto samples = make_samples(n_prb, 3);
+  std::vector<std::uint8_t> comp(cfg.prb_bytes() * std::size_t(n_prb));
+  compress_prbs(IqConstSpan(samples.data(), samples.size()), cfg, comp);
+  for (auto _ : state) {
+    int hot = 0;
+    for (int k = 0; k < n_prb; ++k)
+      hot += bfp_wire_exponent(
+                 std::span(comp).subspan(std::size_t(k) * cfg.prb_bytes())) > 2;
+    benchmark::DoNotOptimize(hot);
+  }
+  state.SetItemsProcessed(state.iterations() * n_prb);
+}
+BENCHMARK(BM_ExponentScan);
+
+void BM_MergePayloads(benchmark::State& state) {
+  // The DAS uplink combine at 273 PRBs for N RUs.
+  const int n_rus = int(state.range(0));
+  const int n_prb = 273;
+  const CompConfig cfg{CompMethod::BlockFloatingPoint, 9};
+  auto samples = make_samples(n_prb, 4);
+  std::vector<std::uint8_t> comp(cfg.prb_bytes() * std::size_t(n_prb));
+  compress_prbs(IqConstSpan(samples.data(), samples.size()), cfg, comp);
+  std::vector<std::span<const std::uint8_t>> srcs;
+  srcs.assign(std::size_t(n_rus), std::span<const std::uint8_t>(comp));
+  std::vector<std::uint8_t> dst(comp.size());
+  PrbScratch scratch;
+  for (auto _ : state) {
+    auto r = merge_compressed(
+        std::span<const std::span<const std::uint8_t>>(srcs.data(),
+                                                       srcs.size()),
+        n_prb, cfg, dst, scratch);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n_prb);
+}
+BENCHMARK(BM_MergePayloads)->Arg(2)->Arg(4)->Arg(5);
+
+}  // namespace
+}  // namespace rb
+
+BENCHMARK_MAIN();

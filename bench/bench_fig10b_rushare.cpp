@@ -1,0 +1,64 @@
+// Figure 10b: DL/UL throughput of 40 MHz cells on a dedicated 40 MHz RU
+// vs two 40 MHz cells sharing one 100 MHz RU through the RANBooster
+// RU-sharing middlebox.
+#include "bench_util.h"
+
+namespace rb::bench {
+namespace {
+
+void dedicated(double* dl, double* ul) {
+  Deployment d;
+  const Hertz c40 = GHz(3) + MHz(430);
+  auto du = d.add_du(cell_cfg(MHz(40), c40, 1), srsran_profile(), 0);
+  auto ru = d.add_ru(ru_site(d.plan.ru_position(0, 1), 4, MHz(40), c40), 0,
+                     du.du->fh());
+  d.connect_direct(du, ru);
+  const UeId ue = d.add_ue(d.plan.near_ru(0, 1, 5.0), &du, 500, 50);
+  d.attach_all(600);
+  d.measure(400);
+  *dl = d.dl_mbps(ue);
+  *ul = d.ul_mbps(ue);
+}
+
+void shared(double* dl_a, double* ul_a, double* dl_b, double* ul_b) {
+  Deployment d;
+  auto site = ru_site(d.plan.ru_position(0, 1), 4, MHz(100), kBand78Center);
+  // Aligned DU grids per Appendix A.1.1 (cells at RU PRBs 10 and 150).
+  const Hertz ca =
+      aligned_du_center_frequency(kBand78Center, 273, 106, 10, Scs::kHz30);
+  const Hertz cb =
+      aligned_du_center_frequency(kBand78Center, 273, 106, 150, Scs::kHz30);
+  auto du_a = d.add_du(cell_cfg(MHz(40), ca, 1), srsran_profile(), 0);
+  auto du_b = d.add_du(cell_cfg(MHz(40), cb, 2), srsran_profile(), 1);
+  auto ru = d.add_ru(site, 0, du_a.du->fh());
+  d.add_rushare({&du_a, &du_b}, ru);
+  const UeId ue_a = d.add_ue(d.plan.near_ru(0, 1, 5.0), &du_a, 500, 50, 1);
+  const UeId ue_b = d.add_ue(d.plan.near_ru(0, 1, -5.0), &du_b, 500, 50, 2);
+  d.attach_all(800);
+  d.measure(400);
+  *dl_a = d.dl_mbps(ue_a);
+  *ul_a = d.ul_mbps(ue_a);
+  *dl_b = d.dl_mbps(ue_b);
+  *ul_b = d.ul_mbps(ue_b);
+}
+
+}  // namespace
+}  // namespace rb::bench
+
+int main() {
+  using namespace rb::bench;
+  header("Figure 10b - RU sharing: shared 100 MHz RU vs dedicated 40 MHz RU",
+         "SIGCOMM'25 RANBooster section 6.2.3, Figure 10b");
+  double dl = 0, ul = 0;
+  dedicated(&dl, &ul);
+  row("%-44s %10s %10s", "configuration", "DL (Mbps)", "UL (Mbps)");
+  row("%-44s %10.1f %10.1f", "40 MHz cell, dedicated 40 MHz RU", dl, ul);
+  double dla, ula, dlb, ulb;
+  shared(&dla, &ula, &dlb, &ulb);
+  row("%-44s %10.1f %10.1f", "cell A (40 MHz) on shared 100 MHz RU", dla,
+      ula);
+  row("%-44s %10.1f %10.1f", "cell B (40 MHz) on shared 100 MHz RU", dlb,
+      ulb);
+  row("%-44s %10s %10s", "paper", "~330 each", "~25 each");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Figure 11: walking-UE throughput across one floor under three
+// deployment options with four RUs:
+//   O1 - four 25 MHz cells on non-overlapping frequencies,
+//   O2 - four 100 MHz cells with full frequency reuse,
+//   O3 - one 100 MHz cell distributed by the RANBooster DAS middlebox.
+// A static UE near RU 1 pulls 100 Mbps throughout; the walking UE demands
+// 700 Mbps at each grid point of the floor.
+#include <algorithm>
+#include <memory>
+
+#include "bench_util.h"
+
+namespace rb::bench {
+namespace {
+
+struct WalkStats {
+  std::vector<double> mbps;
+  double mean() const {
+    double s = 0;
+    for (double v : mbps) s += v;
+    return mbps.empty() ? 0 : s / double(mbps.size());
+  }
+  double min() const {
+    return mbps.empty() ? 0 : *std::min_element(mbps.begin(), mbps.end());
+  }
+  double max() const {
+    return mbps.empty() ? 0 : *std::max_element(mbps.begin(), mbps.end());
+  }
+};
+
+/// Walk the floor, measuring the walking UE at each point.
+WalkStats walk(Deployment& d, UeId walker,
+               const std::vector<Deployment::DuHandle*>& dus) {
+  WalkStats st;
+  const auto route = d.plan.walk_route(0, 12, 2);
+  for (const auto& pos : route) {
+    d.air.set_ue_position(walker, pos);
+    // Offer the walking load on whichever cell serves after reselection.
+    d.engine.run_slots(100);
+    for (auto* du : dus) d.traffic.set_flow(*du->du, walker, 0, 0);
+    const CellId serving = d.air.serving_cell(walker);
+    for (auto* du : dus)
+      if (du->cell == serving) d.traffic.set_flow(*du->du, walker, 700, 0);
+    d.engine.run_slots(40);
+    d.measure(160);
+    st.mbps.push_back(d.dl_mbps(walker));
+  }
+  return st;
+}
+
+WalkStats option1() {
+  Deployment d;
+  std::vector<Deployment::DuHandle> dus;
+  std::vector<Deployment::DuHandle*> du_ptrs;
+  for (int i = 0; i < 4; ++i) {
+    const Hertz center = GHz(3) + MHz(400) + i * MHz(25);
+    dus.push_back(d.add_du(cell_cfg(MHz(25), center, std::uint16_t(i + 1)),
+                           srsran_profile(), std::uint8_t(i)));
+    auto ru = d.add_ru(ru_site(d.plan.ru_position(0, i), 4, MHz(25), center),
+                       std::uint8_t(i), dus.back().du->fh());
+    d.connect_direct(dus.back(), ru);
+  }
+  for (auto& h : dus) du_ptrs.push_back(&h);
+  const UeId stat = d.add_ue(d.plan.near_ru(0, 1, 2.0), &dus[1], 100, 0);
+  (void)stat;
+  const UeId walker = d.add_ue(d.plan.near_ru(0, 0, 2.0));
+  d.engine.run_slots(300);
+  return walk(d, walker, du_ptrs);
+}
+
+WalkStats option2() {
+  Deployment d;
+  std::vector<Deployment::DuHandle> dus;
+  std::vector<Deployment::DuHandle*> du_ptrs;
+  for (int i = 0; i < 4; ++i) {
+    dus.push_back(d.add_du(cell_cfg(MHz(100), kBand78Center,
+                                    std::uint16_t(i + 1)),
+                           srsran_profile(), std::uint8_t(i)));
+    auto ru = d.add_ru(
+        ru_site(d.plan.ru_position(0, i), 4, MHz(100), kBand78Center),
+        std::uint8_t(i), dus.back().du->fh());
+    d.connect_direct(dus.back(), ru);
+  }
+  for (auto& h : dus) du_ptrs.push_back(&h);
+  const UeId stat = d.add_ue(d.plan.near_ru(0, 1, 2.0), &dus[1], 100, 0);
+  (void)stat;
+  const UeId walker = d.add_ue(d.plan.near_ru(0, 0, 2.0));
+  d.engine.run_slots(300);
+  return walk(d, walker, du_ptrs);
+}
+
+WalkStats option3() {
+  Deployment d;
+  auto du = d.add_du(cell_cfg(MHz(100), kBand78Center, 1), srsran_profile(), 0);
+  std::vector<Deployment::RuHandle> rus;
+  std::vector<Deployment::RuHandle*> ptrs;
+  for (int i = 0; i < 4; ++i)
+    rus.push_back(d.add_ru(
+        ru_site(d.plan.ru_position(0, i), 4, MHz(100), kBand78Center),
+        std::uint8_t(i), du.du->fh()));
+  for (auto& r : rus) ptrs.push_back(&r);
+  d.add_das(du, ptrs, DriverKind::Dpdk, 1);  // 4 RUs fit in one core
+  const UeId stat = d.add_ue(d.plan.near_ru(0, 1, 2.0), &du, 100, 0);
+  (void)stat;
+  const UeId walker = d.add_ue(d.plan.near_ru(0, 0, 2.0));
+  d.engine.run_slots(300);
+  std::vector<Deployment::DuHandle*> du_ptrs{&du};
+  return walk(d, walker, du_ptrs);
+}
+
+}  // namespace
+}  // namespace rb::bench
+
+int main() {
+  using namespace rb::bench;
+  header("Figure 11 - floor walk: O1 (4x25 MHz) vs O2 (4x100 MHz reuse) vs "
+         "O3 (RANBooster DAS)",
+         "SIGCOMM'25 RANBooster section 6.3.1, Figure 11");
+  auto print = [](const char* name, const WalkStats& st, const char* paper) {
+    std::printf("%-28s mean %7.1f  min %7.1f  max %7.1f   paper: %s\n", name,
+                st.mean(), st.min(), st.max(), paper);
+    std::printf("  walk series (Mbps):");
+    for (double v : st.mbps) std::printf(" %5.0f", v);
+    std::printf("\n");
+  };
+  print("O1  4 cells / 25 MHz", option1(), "capped at ~200 Mbps");
+  print("O2  4 cells / 100 MHz reuse", option2(),
+        "interference dips at several locations");
+  print("O3  RANBooster DAS", option3(), "~700 Mbps across the floor");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 13: downlink throughput across one floor with four 1-antenna RUs
+// when running a DAS middlebox (single SISO cell, ~250 Mbps) vs swapping
+// in a dMIMO middlebox (4-layer virtual RU, 2-3x higher) - no
+// infrastructure change, middlebox software swap only.
+#include "bench_util.h"
+
+namespace rb::bench {
+namespace {
+
+std::vector<double> walk_throughput(Deployment& d, Deployment::DuHandle& du,
+                                    UeId walker) {
+  std::vector<double> out;
+  for (const auto& pos : d.plan.walk_route(0, 10, 2)) {
+    d.air.set_ue_position(walker, pos);
+    d.engine.run_slots(80);
+    d.traffic.set_flow(*du.du, walker, 800, 0);
+    d.measure(160);
+    out.push_back(d.dl_mbps(walker));
+  }
+  return out;
+}
+
+std::vector<double> das_siso() {
+  Deployment d;
+  auto du = d.add_du(cell_cfg(MHz(100), kBand78Center, 1, /*layers=*/1),
+                     srsran_profile(), 0);
+  std::vector<Deployment::RuHandle> rus;
+  std::vector<Deployment::RuHandle*> ptrs;
+  for (int i = 0; i < 4; ++i)
+    rus.push_back(d.add_ru(
+        ru_site(d.plan.ru_position(0, i), 1, MHz(100), kBand78Center),
+        std::uint8_t(i), du.du->fh()));
+  for (auto& r : rus) ptrs.push_back(&r);
+  d.add_das(du, ptrs, DriverKind::Dpdk, 1);
+  const UeId walker = d.add_ue(d.plan.near_ru(0, 0, 2.0), &du, 800, 0);
+  d.attach_all(600);
+  return walk_throughput(d, du, walker);
+}
+
+std::vector<double> dmimo_4layer() {
+  Deployment d;
+  auto du = d.add_du(cell_cfg(MHz(100), kBand78Center, 1, /*layers=*/4),
+                     srsran_profile(), 0);
+  std::vector<Deployment::RuHandle> rus;
+  std::vector<Deployment::RuHandle*> ptrs;
+  for (int i = 0; i < 4; ++i)
+    rus.push_back(d.add_ru(
+        ru_site(d.plan.ru_position(0, i), 1, MHz(100), kBand78Center),
+        std::uint8_t(i), du.du->fh()));
+  for (auto& r : rus) ptrs.push_back(&r);
+  d.add_dmimo(du, ptrs);
+  const UeId walker = d.add_ue(d.plan.near_ru(0, 0, 2.0), &du, 800, 0);
+  d.attach_all(600);
+  return walk_throughput(d, du, walker);
+}
+
+double mean(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x;
+  return v.empty() ? 0 : s / double(v.size());
+}
+
+}  // namespace
+}  // namespace rb::bench
+
+int main() {
+  using namespace rb::bench;
+  header("Figure 13 - DAS (SISO) vs dMIMO middlebox swap on 4x1-antenna RUs",
+         "SIGCOMM'25 RANBooster section 6.3.2, Figure 13");
+  const auto das = das_siso();
+  const auto dm = dmimo_4layer();
+  std::printf("%-26s", "DAS single SISO cell:");
+  for (double v : das) std::printf(" %5.0f", v);
+  std::printf("   mean %.0f Mbps (paper: ~250)\n", mean(das));
+  std::printf("%-26s", "dMIMO 4 layers:");
+  for (double v : dm) std::printf(" %5.0f", v);
+  std::printf("   mean %.0f Mbps (paper: 2-3x DAS)\n", mean(dm));
+  double ratio_min = 1e9, ratio_max = 0;
+  for (std::size_t i = 0; i < das.size() && i < dm.size(); ++i) {
+    if (das[i] > 1.0) {
+      const double r = dm[i] / das[i];
+      ratio_min = std::min(ratio_min, r);
+      ratio_max = std::max(ratio_max, r);
+    }
+  }
+  row("speedup by location: %.1fx .. %.1fx (paper: 'factor of 2 or 3, "
+      "depending on the location')", ratio_min, ratio_max);
+  return 0;
+}

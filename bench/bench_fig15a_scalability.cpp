@@ -1,0 +1,85 @@
+// Figure 15a: DPDK DAS middlebox scalability with the number of RUs at
+// 100 MHz - egress/ingress fronthaul traffic (linear in RUs) and the CPU
+// cores needed to keep the uplink merge inside the slot deadline (1 core
+// up to 4 RUs, 2 cores beyond).
+#include "bench_util.h"
+
+namespace rb::bench {
+namespace {
+
+struct RunStats {
+  double egress_gbps = 0;
+  double ingress_gbps = 0;
+  std::uint64_t late_drops = 0;
+  double ul_mbps = 0;
+};
+
+RunStats run_das(int n_rus, int workers) {
+  Deployment d;
+  auto du = d.add_du(cell_cfg(MHz(100), kBand78Center, 1), srsran_profile(), 0);
+  std::vector<Deployment::RuHandle> rus;
+  std::vector<Deployment::RuHandle*> ptrs;
+  for (int i = 0; i < n_rus; ++i)
+    rus.push_back(d.add_ru(
+        ru_site(d.plan.near_ru(0, i % 4, (i / 4) * 3.0), 4, MHz(100),
+                kBand78Center),
+        std::uint8_t(i), du.du->fh()));
+  for (auto& r : rus) ptrs.push_back(&r);
+  auto& rt = d.add_das(du, ptrs, DriverKind::Dpdk, workers);
+  // Saturating offered load keeps the cell's spectrum fully used at every
+  // RU count so fronthaul volume reflects capacity, not demand.
+  const UeId ue = d.add_ue(d.plan.near_ru(0, 1, 4.0), &du, 2500, 100);
+  d.attach_all(600);
+
+  // Traffic accounting over the measurement window only.
+  const auto& north = rt.port(DasMiddlebox::kNorth);
+  const auto& south = rt.port(DasMiddlebox::kSouth);
+  const std::uint64_t tx0 = south.stats().tx_bytes + north.stats().tx_bytes;
+  const std::uint64_t rx0 = south.stats().rx_bytes + north.stats().rx_bytes;
+  const std::uint64_t late0 = du.du->stats().late_drops;
+  const std::int64_t t0 = d.engine.elapsed_ns();
+  d.measure(400);
+  const double secs = double(d.engine.elapsed_ns() - t0) / 1e9;
+
+  RunStats st;
+  st.egress_gbps =
+      double(south.stats().tx_bytes + north.stats().tx_bytes - tx0) * 8.0 /
+      secs / 1e9;
+  st.ingress_gbps =
+      double(south.stats().rx_bytes + north.stats().rx_bytes - rx0) * 8.0 /
+      secs / 1e9;
+  st.late_drops = du.du->stats().late_drops - late0;
+  st.ul_mbps = d.ul_mbps(ue);
+  return st;
+}
+
+}  // namespace
+}  // namespace rb::bench
+
+int main() {
+  using namespace rb::bench;
+  header("Figure 15a - DAS scalability: fronthaul traffic and CPU cores vs "
+         "number of RUs",
+         "SIGCOMM'25 RANBooster section 6.4.1, Figure 15a");
+  row("%5s %14s %14s %8s %12s %10s", "RUs", "egress Gbps", "ingress Gbps",
+      "cores", "late drops", "UL Mbps");
+  for (int n = 2; n <= 6; ++n) {
+    // Find the minimum worker count that keeps the uplink loss-free.
+    int cores = 0;
+    RunStats st{};
+    for (int w = 1; w <= 3; ++w) {
+      st = run_das(n, w);
+      if (st.late_drops == 0 && st.ul_mbps > 50.0) {
+        cores = w;
+        break;
+      }
+    }
+    if (cores == 0) cores = 3;
+    row("%5d %14.2f %14.2f %8d %12llu %10.1f", n, st.egress_gbps,
+        st.ingress_gbps, cores, (unsigned long long)st.late_drops,
+        st.ul_mbps);
+  }
+  row("paper shape: traffic linear in RUs; 1 core suffices up to 4 RUs, "
+      "2 cores beyond");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Microbenchmark: fronthaul frame encode/parse - the fixed per-packet
+// cost every middlebox pays before any action runs.
+#include <benchmark/benchmark.h>
+
+#include "fronthaul/frame.h"
+#include "iq/prb.h"
+
+namespace rb {
+namespace {
+
+struct Fixture {
+  FhContext ctx{};
+  std::vector<std::uint8_t> cframe;
+  std::vector<std::uint8_t> uframe;
+
+  Fixture() {
+    ctx.carrier_prbs = 273;
+    EthHeader eth;
+    eth.dst = MacAddr::ru(0);
+    eth.src = MacAddr::du(0);
+    eth.vlan_id = 6;
+
+    CPlaneMsg c;
+    c.direction = Direction::Downlink;
+    c.comp = ctx.comp;
+    CSection cs;
+    cs.num_prb = 0;  // whole carrier
+    cs.num_symbol = 14;
+    c.sections.push_back(cs);
+    cframe.resize(256);
+    cframe.resize(
+        build_cplane_frame(cframe, eth, EaxcId{}, 0, c, ctx));
+
+    std::vector<IqSample> samples(273 * kScPerPrb);
+    std::uint32_t rng = 5;
+    for (auto& s : samples) {
+      rng = rng * 1664525u + 1013904223u;
+      s.i = std::int16_t(rng >> 18);
+      s.q = std::int16_t(rng >> 20);
+    }
+    std::vector<std::uint8_t> payload(ctx.comp.prb_bytes() * 273);
+    compress_prbs(IqConstSpan(samples.data(), samples.size()), ctx.comp,
+                  payload);
+    UPlaneMsg u;
+    u.direction = Direction::Downlink;
+    USectionData sec;
+    sec.num_prb = 273;
+    sec.payload = payload;
+    uframe.resize(9216);
+    uframe.resize(build_uplane_frame(uframe, eth, EaxcId{}, 0, u,
+                                     std::span(&sec, 1), ctx));
+  }
+};
+
+void BM_ParseCplane(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    auto r = parse_frame(f.cframe, f.ctx);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ParseCplane);
+
+void BM_ParseUplaneJumbo(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    auto r = parse_frame(f.uframe, f.ctx);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(state.iterations() * std::int64_t(f.uframe.size()));
+}
+BENCHMARK(BM_ParseUplaneJumbo);
+
+void BM_RewriteEaxc(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    bool ok = rewrite_eaxc(f.uframe, EaxcId{0, 0, 0, 2});
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_RewriteEaxc);
+
+}  // namespace
+}  // namespace rb
+
+BENCHMARK_MAIN();

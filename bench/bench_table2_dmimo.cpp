@@ -1,0 +1,74 @@
+// Table 2: average DL throughput and UE rank indicator of dMIMO vs the
+// single-RU MIMO ground truth, for 2 and 4 antennas, plus the SISO uplink
+// sanity number (70 Mbps) quoted in 6.2.2.
+#include "bench_util.h"
+
+namespace rb::bench {
+namespace {
+
+struct Row {
+  double dl = 0, ul = 0;
+  int rank = 0;
+};
+
+Row single_ru(int layers) {
+  Deployment d;
+  auto du = d.add_du(cell_cfg(MHz(100), kBand78Center, 1, layers),
+                     srsran_profile(), 0);
+  auto ru = d.add_ru(ru_site(d.plan.ru_position(0, 1), layers, MHz(100),
+                             kBand78Center), 0, du.du->fh());
+  d.connect_direct(du, ru);
+  const UeId ue = d.add_ue(d.plan.near_ru(0, 1, 5.0), &du, 1200, 100);
+  d.attach_all(600);
+  d.measure(400);
+  return {d.dl_mbps(ue), d.ul_mbps(ue), d.air.last_rank(ue)};
+}
+
+Row dmimo(int ants_each) {
+  Deployment d;
+  const int layers = 2 * ants_each;
+  auto du = d.add_du(cell_cfg(MHz(100), kBand78Center, 1, layers),
+                     srsran_profile(), 0);
+  RuSite s1 = ru_site(d.plan.ru_position(0, 1), ants_each, MHz(100),
+                      kBand78Center);
+  RuSite s2 = s1;
+  s2.pos.x += 5.0;  // RUs ~5 m apart (6.2.2)
+  auto ru1 = d.add_ru(s1, 0, du.du->fh());
+  auto ru2 = d.add_ru(s2, 1, du.du->fh());
+  d.add_dmimo(du, {&ru1, &ru2});
+  Position pos = s1.pos;  // ~5 m from both RUs
+  pos.x += 2.5;
+  pos.y += 4.33;
+  const UeId ue = d.add_ue(pos, &du, 1200, 100);
+  d.attach_all(600);
+  d.measure(400);
+  return {d.dl_mbps(ue), d.ul_mbps(ue), d.air.last_rank(ue)};
+}
+
+}  // namespace
+}  // namespace rb::bench
+
+int main() {
+  using namespace rb::bench;
+  header("Table 2 - dMIMO vs single-RU MIMO ground truth",
+         "SIGCOMM'25 RANBooster section 6.2.2, Table 2");
+  row("%-44s %12s %6s %10s", "configuration", "DL (Mbps)", "rank",
+      "paper DL");
+  const Row b2 = single_ru(2);
+  row("%-44s %12.1f %6d %10s", "2x2 MIMO: single RU, 2 antennas", b2.dl,
+      b2.rank, "653.4");
+  const Row d2 = dmimo(1);
+  row("%-44s %12.1f %6d %10s",
+      "2x2 MIMO: two RUs, 1 antenna each (RANBooster)", d2.dl, d2.rank,
+      "654.1");
+  const Row b4 = single_ru(4);
+  row("%-44s %12.1f %6d %10s", "4x4 MIMO: single RU, 4 antennas", b4.dl,
+      b4.rank, "898.2");
+  const Row d4 = dmimo(2);
+  row("%-44s %12.1f %6d %10s",
+      "4x4 MIMO: two RUs, 2 antennas each (RANBooster)", d4.dl, d4.rank,
+      "896.9");
+  row("uplink (SISO) sanity: single=%.1f dMIMO=%.1f Mbps (paper: ~70)",
+      b4.ul, d4.ul);
+  return 0;
+}

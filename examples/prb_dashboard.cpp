@@ -1,0 +1,89 @@
+// Real-time PRB utilization dashboard (paper section 4.4).
+//
+// Subscribes to the PRB-monitor middlebox's streaming telemetry and
+// renders a per-100ms utilization timeline while the offered load ramps
+// up and down - the kind of sub-second visibility the E2/RIC path cannot
+// provide (paper: vendors expose KPIs at minutes granularity).
+//
+//   ./build/examples/prb_dashboard
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/deployment.h"
+
+namespace {
+
+std::string bar(double fraction, int width = 40) {
+  std::string s;
+  const int fill = int(fraction * width + 0.5);
+  for (int i = 0; i < width; ++i) s += i < fill ? '#' : '.';
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rb;
+
+  Deployment d;
+  CellConfig cell;
+  cell.bandwidth = MHz(100);
+  cell.max_layers = 4;
+  auto du = d.add_du(cell, srsran_profile(), 0);
+  RuSite site;
+  site.pos = d.plan.ru_position(0, 1);
+  site.n_antennas = 4;
+  site.bandwidth = MHz(100);
+  site.center_freq = cell.center_freq;
+  auto ru = d.add_ru(site, 0, du.du->fh());
+  auto& rt = d.add_prbmon(du, ru);
+
+  const UeId ue = d.add_ue(d.plan.near_ru(0, 1, 5.0), &du, 0, 0);
+  if (!d.attach_all(600)) {
+    std::printf("UE failed to attach\n");
+    return 1;
+  }
+
+  // Aggregate the per-slot samples into 100 ms buckets.
+  struct Bucket {
+    double dl = 0, ul = 0;
+    int n_dl = 0, n_ul = 0;
+  };
+  std::vector<Bucket> buckets(1);
+  std::int64_t bucket_start = d.engine.current_slot();
+  rt.telemetry().subscribe([&](const TelemetrySample& s) {
+    while (s.slot - bucket_start >= 200) {  // 200 slots = 100 ms
+      buckets.emplace_back();
+      bucket_start += 200;
+    }
+    auto& b = buckets.back();
+    if (s.key == "prb_util_dl") {
+      b.dl += s.value;
+      b.n_dl++;
+    } else if (s.key == "prb_util_ul") {
+      b.ul += s.value;
+      b.n_ul++;
+    }
+  });
+
+  // Load ramp: 0 -> 300 -> 700 -> 150 -> 0 Mbps, 200 ms each.
+  const double ramp[] = {0, 300, 700, 150, 0};
+  for (double mbps : ramp) {
+    d.traffic.set_flow(*du.du, ue, mbps, mbps / 10.0);
+    d.engine.run_slots(400);  // 200 ms
+  }
+
+  std::printf("PRB utilization per 100 ms (cell: 100 MHz / 273 PRBs)\n");
+  std::printf("%6s  %-42s %-42s\n", "t(ms)", "downlink", "uplink");
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const auto& b = buckets[i];
+    const double dl = b.n_dl ? b.dl / b.n_dl : 0.0;
+    const double ul = b.n_ul ? b.ul / b.n_ul : 0.0;
+    std::printf("%6zu  %s %4.0f%%  %s %4.0f%%\n", i * 100,
+                bar(dl).c_str(), 100 * dl, bar(ul).c_str(), 100 * ul);
+  }
+  std::printf("\n(the load ramp was 0 / 300 / 700 / 150 / 0 Mbps DL - the "
+              "dashboard tracks it at sub-second granularity)\n");
+  return 0;
+}

@@ -1,0 +1,7 @@
+// bytes.h is header-only; this translation unit exists so the library has a
+// stable archive member and the header is compiled standalone at least once.
+#include "common/bytes.h"
+
+namespace rb {
+// Intentionally empty.
+}  // namespace rb

@@ -1,0 +1,203 @@
+// Bounds-checked big-endian buffer reader/writer.
+//
+// All fronthaul wire formats are big-endian; these helpers centralize the
+// byte-order handling so the protocol encoders read like the spec tables.
+// Overruns are reported through an ok() flag rather than exceptions so the
+// parser can reject truncated frames cheaply on the datapath.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace rb {
+
+/// Sequential big-endian writer over a caller-owned byte span.
+class BufWriter {
+ public:
+  explicit BufWriter(std::span<std::uint8_t> buf) : buf_(buf) {}
+
+  bool ok() const { return ok_; }
+  std::size_t written() const { return pos_; }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+  void u8(std::uint8_t v) { put(&v, 1); }
+  void u16(std::uint16_t v) {
+    std::uint8_t b[2] = {std::uint8_t(v >> 8), std::uint8_t(v)};
+    put(b, 2);
+  }
+  void u24(std::uint32_t v) {
+    std::uint8_t b[3] = {std::uint8_t(v >> 16), std::uint8_t(v >> 8),
+                         std::uint8_t(v)};
+    put(b, 3);
+  }
+  void u32(std::uint32_t v) {
+    std::uint8_t b[4] = {std::uint8_t(v >> 24), std::uint8_t(v >> 16),
+                         std::uint8_t(v >> 8), std::uint8_t(v)};
+    put(b, 4);
+  }
+  void bytes(std::span<const std::uint8_t> src) { put(src.data(), src.size()); }
+
+  /// Reserve space and return its offset; used to backpatch length fields.
+  std::size_t reserve_u16() {
+    std::size_t at = pos_;
+    u16(0);
+    return at;
+  }
+  void patch_u16(std::size_t at, std::uint16_t v) {
+    if (at + 2 <= buf_.size()) {
+      buf_[at] = std::uint8_t(v >> 8);
+      buf_[at + 1] = std::uint8_t(v);
+    }
+  }
+
+ private:
+  void put(const std::uint8_t* src, std::size_t n) {
+    if (!ok_ || pos_ + n > buf_.size()) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(buf_.data() + pos_, src, n);
+    pos_ += n;
+  }
+
+  std::span<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Sequential big-endian reader over a const byte span.
+class BufReader {
+ public:
+  explicit BufReader(std::span<const std::uint8_t> buf) : buf_(buf) {}
+
+  bool ok() const { return ok_; }
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    get(&v, 1);
+    return v;
+  }
+  std::uint16_t u16() {
+    std::uint8_t b[2] = {};
+    get(b, 2);
+    return std::uint16_t((b[0] << 8) | b[1]);
+  }
+  std::uint32_t u24() {
+    std::uint8_t b[3] = {};
+    get(b, 3);
+    return std::uint32_t((b[0] << 16) | (b[1] << 8) | b[2]);
+  }
+  std::uint32_t u32() {
+    std::uint8_t b[4] = {};
+    get(b, 4);
+    return (std::uint32_t(b[0]) << 24) | (std::uint32_t(b[1]) << 16) |
+           (std::uint32_t(b[2]) << 8) | b[3];
+  }
+  /// View of the next n bytes without copying; empty span on underrun.
+  std::span<const std::uint8_t> view(std::size_t n) {
+    if (!ok_ || pos_ + n > buf_.size()) {
+      ok_ = false;
+      return {};
+    }
+    auto s = buf_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  void skip(std::size_t n) { (void)view(n); }
+
+ private:
+  void get(std::uint8_t* dst, std::size_t n) {
+    if (!ok_ || pos_ + n > buf_.size()) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(dst, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Pack/unpack a stream of fixed-width signed integers (mantissa packing
+/// for BFP and other O-RAN compression methods). Width 1..16 bits.
+class BitWriter {
+ public:
+  explicit BitWriter(std::span<std::uint8_t> buf) : buf_(buf) {}
+
+  bool ok() const { return ok_; }
+  /// Bytes consumed, rounding the final partial byte up.
+  std::size_t bytes_written() const { return (bitpos_ + 7) / 8; }
+
+  /// Write the low `width` bits of v (two's complement for negatives).
+  /// Byte-at-a-time insertion keeps this fast enough for the per-PRB
+  /// compression hot path.
+  void put(std::int32_t v, int width) {
+    std::uint32_t u =
+        std::uint32_t(v) & ((width == 32) ? ~0u : ((1u << width) - 1));
+    int left = width;
+    while (left > 0) {
+      std::size_t byte = bitpos_ / 8;
+      if (byte >= buf_.size()) {
+        ok_ = false;
+        return;
+      }
+      const int bit_off = int(bitpos_ % 8);     // bits already used in byte
+      const int room = 8 - bit_off;             // bits available in byte
+      const int take = left < room ? left : room;
+      const std::uint32_t chunk =
+          (u >> (left - take)) & ((1u << take) - 1);
+      buf_[byte] = std::uint8_t(buf_[byte] |
+                                (chunk << (room - take)));
+      bitpos_ += std::size_t(take);
+      left -= take;
+    }
+  }
+
+ private:
+  std::span<std::uint8_t> buf_;
+  std::size_t bitpos_ = 0;
+  bool ok_ = true;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> buf) : buf_(buf) {}
+
+  bool ok() const { return ok_; }
+
+  /// Read `width` bits as a sign-extended integer (byte-at-a-time).
+  std::int32_t get(int width) {
+    std::uint32_t u = 0;
+    int left = width;
+    while (left > 0) {
+      std::size_t byte = bitpos_ / 8;
+      if (byte >= buf_.size()) {
+        ok_ = false;
+        return 0;
+      }
+      const int bit_off = int(bitpos_ % 8);
+      const int room = 8 - bit_off;
+      const int take = left < room ? left : room;
+      const std::uint32_t chunk =
+          (std::uint32_t(buf_[byte]) >> (room - take)) & ((1u << take) - 1);
+      u = (u << take) | chunk;
+      bitpos_ += std::size_t(take);
+      left -= take;
+    }
+    // Sign-extend from `width` bits.
+    if (width < 32 && (u & (1u << (width - 1)))) u |= ~((1u << width) - 1);
+    return std::int32_t(u);
+  }
+
+ private:
+  std::span<const std::uint8_t> buf_;
+  std::size_t bitpos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace rb

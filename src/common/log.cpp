@@ -1,0 +1,36 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace rb {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_tag(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel lvl) {
+  g_level.store(lvl, std::memory_order_relaxed);
+}
+
+void log_write(LogLevel lvl, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  std::fprintf(stderr, "[rb %s] %s\n", level_tag(lvl), buf);
+}
+
+}  // namespace rb

@@ -1,0 +1,31 @@
+// Minimal leveled logger.
+//
+// The datapath never logs per-packet at Info or above; Debug is compiled in
+// but filtered at runtime, which keeps the hot path free of formatting cost
+// when disabled (the level check is a single load).
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+
+namespace rb {
+
+enum class LogLevel : std::uint8_t { Debug = 0, Info, Warn, Error, Off };
+
+LogLevel log_level();
+void set_log_level(LogLevel lvl);
+
+void log_write(LogLevel lvl, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define RB_LOG(lvl, ...)                                  \
+  do {                                                    \
+    if (::rb::log_level() <= (lvl)) ::rb::log_write((lvl), __VA_ARGS__); \
+  } while (0)
+
+#define RB_DEBUG(...) RB_LOG(::rb::LogLevel::Debug, __VA_ARGS__)
+#define RB_INFO(...) RB_LOG(::rb::LogLevel::Info, __VA_ARGS__)
+#define RB_WARN(...) RB_LOG(::rb::LogLevel::Warn, __VA_ARGS__)
+#define RB_ERROR(...) RB_LOG(::rb::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace rb

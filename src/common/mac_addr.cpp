@@ -1,0 +1,24 @@
+#include "common/mac_addr.h"
+
+#include <cstdio>
+
+namespace rb {
+
+std::string MacAddr::str() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0],
+                bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+MacAddr MacAddr::parse(const std::string& s) {
+  MacAddr m{};
+  unsigned v[6];
+  if (std::sscanf(s.c_str(), "%x:%x:%x:%x:%x:%x", &v[0], &v[1], &v[2], &v[3],
+                  &v[4], &v[5]) != 6)
+    return {};
+  for (int i = 0; i < 6; ++i) m.bytes[i] = std::uint8_t(v[i]);
+  return m;
+}
+
+}  // namespace rb

@@ -1,0 +1,44 @@
+// Ethernet MAC address value type.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rb {
+
+struct MacAddr {
+  std::array<std::uint8_t, 6> bytes{};
+
+  friend auto operator<=>(const MacAddr&, const MacAddr&) = default;
+
+  bool is_broadcast() const {
+    for (auto b : bytes)
+      if (b != 0xff) return false;
+    return true;
+  }
+
+  std::string str() const;
+
+  /// Parse "aa:bb:cc:dd:ee:ff"; returns all-zero address on malformed input.
+  static MacAddr parse(const std::string& s);
+
+  /// Deterministic per-node test addresses: du(0) = 02:du:00:00:00:00 etc.
+  static MacAddr du(std::uint8_t i) { return {{0x02, 0xd0, 0, 0, 0, i}}; }
+  static MacAddr ru(std::uint8_t i) { return {{0x02, 0xe0, 0, 0, 0, i}}; }
+  static MacAddr mb(std::uint8_t i) { return {{0x02, 0xf0, 0, 0, 0, i}}; }
+  static MacAddr broadcast() {
+    return {{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+  }
+};
+
+struct MacAddrHash {
+  std::size_t operator()(const MacAddr& m) const {
+    std::uint64_t v = 0;
+    for (auto b : m.bytes) v = (v << 8) | b;
+    return std::hash<std::uint64_t>{}(v);
+  }
+};
+
+}  // namespace rb

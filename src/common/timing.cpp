@@ -1,0 +1,39 @@
+#include "common/timing.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rb {
+
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+double linear_to_db(double linear) { return 10.0 * std::log10(linear); }
+
+const char* to_string(Direction d) {
+  return d == Direction::Uplink ? "UL" : "DL";
+}
+
+std::string SlotPoint::str() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "f%u.sf%u.s%u.sym%u", frame, subframe, slot,
+                symbol);
+  return buf;
+}
+
+SlotPoint SlotClock::now() const {
+  const int spsf = slots_per_subframe(scs_);
+  std::int64_t slots = total_symbols_ / kSymbolsPerSlot;
+  SlotPoint p;
+  p.symbol = static_cast<std::uint8_t>(total_symbols_ % kSymbolsPerSlot);
+  p.slot = static_cast<std::uint8_t>(slots % spsf);
+  std::int64_t subframes = slots / spsf;
+  p.subframe = static_cast<std::uint8_t>(subframes % 10);
+  p.frame = static_cast<std::uint8_t>((subframes / 10) % 256);
+  return p;
+}
+
+void SlotClock::advance_slot() {
+  // Jump to the start of the next slot regardless of current symbol.
+  total_symbols_ += kSymbolsPerSlot - (total_symbols_ % kSymbolsPerSlot);
+}
+
+}  // namespace rb

@@ -1,0 +1,85 @@
+// Slot/symbol clock arithmetic for the fronthaul timing domain.
+//
+// Fronthaul packets address radio time as (frame, subframe, slot, symbol);
+// frames wrap at 256 in the O-RAN timing header (8-bit frameId). SlotPoint
+// provides total ordering and increment over that wrapped space, which the
+// caches in the middleboxes key on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace rb {
+
+/// Direction of a fronthaul message, matching the O-RAN dataDirection bit.
+enum class Direction : std::uint8_t {
+  Uplink = 0,    // RU -> DU
+  Downlink = 1,  // DU -> RU
+};
+
+const char* to_string(Direction d);
+
+/// A point in radio time: (frame, subframe, slot, symbol).
+///
+/// frameId is 8 bits on the wire, so the timeline wraps every 256 frames
+/// (2.56 s). Comparisons are only meaningful within a window much shorter
+/// than the wrap, which holds for all middlebox caches (they hold state for
+/// a handful of symbols).
+struct SlotPoint {
+  std::uint8_t frame = 0;     // 0..255
+  std::uint8_t subframe = 0;  // 0..9
+  std::uint8_t slot = 0;      // 0..slots_per_subframe-1
+  std::uint8_t symbol = 0;    // 0..13
+
+  friend bool operator==(const SlotPoint&, const SlotPoint&) = default;
+
+  /// Key usable in hash maps / ordered containers.
+  std::uint32_t packed() const {
+    return (std::uint32_t(frame) << 16) | (std::uint32_t(subframe) << 12) |
+           (std::uint32_t(slot) << 4) | symbol;
+  }
+
+  std::string str() const;
+};
+
+/// Monotonic slot/symbol counter that produces wrapped SlotPoints.
+///
+/// Drives the discrete-time simulation: the DU model advances this clock
+/// one symbol at a time; elapsed_ns() exposes the equivalent wall time for
+/// throughput accounting.
+class SlotClock {
+ public:
+  explicit SlotClock(Scs scs = Scs::kHz30) : scs_(scs) {}
+
+  SlotPoint now() const;
+  Scs scs() const { return scs_; }
+
+  /// Total symbols elapsed since construction.
+  std::int64_t total_symbols() const { return total_symbols_; }
+  /// Total slots elapsed since construction.
+  std::int64_t total_slots() const { return total_symbols_ / kSymbolsPerSlot; }
+  /// Virtual nanoseconds elapsed since construction. Whole slots are
+  /// exact; only the sub-slot symbol remainder uses the rounded symbol
+  /// duration (keeps long runs free of rounding drift).
+  std::int64_t elapsed_ns() const {
+    const std::int64_t slots = total_symbols_ / kSymbolsPerSlot;
+    const std::int64_t syms = total_symbols_ % kSymbolsPerSlot;
+    return slots * slot_duration_ns(scs_) + syms * symbol_duration_ns(scs_);
+  }
+
+  void advance_symbol() { ++total_symbols_; }
+  void advance_slot();
+
+  /// True when now() is the first symbol of a slot.
+  bool at_slot_start() const {
+    return total_symbols_ % kSymbolsPerSlot == 0;
+  }
+
+ private:
+  Scs scs_;
+  std::int64_t total_symbols_ = 0;
+};
+
+}  // namespace rb

@@ -1,0 +1,91 @@
+// Strong-ish unit helpers shared across the library.
+//
+// Frequencies are carried as integral hertz to keep PRB-grid arithmetic
+// exact (the O-RAN grids are all multiples of the sub-carrier spacing, so
+// double rounding would be a correctness hazard in the alignment formulas
+// of Appendix A.1).
+#pragma once
+
+#include <cstdint>
+
+namespace rb {
+
+/// Frequency in hertz. 64-bit so band-78 carrier frequencies (3.3-3.8 GHz)
+/// and their sums are exact.
+using Hertz = std::int64_t;
+
+constexpr Hertz kHz(std::int64_t v) { return v * 1'000; }
+constexpr Hertz MHz(std::int64_t v) { return v * 1'000'000; }
+constexpr Hertz GHz(std::int64_t v) { return v * 1'000'000'000; }
+
+/// Sub-carrier spacing choices defined by 3GPP numerologies 0-3.
+enum class Scs : std::int32_t {
+  kHz15 = 15'000,
+  kHz30 = 30'000,
+  kHz60 = 60'000,
+  kHz120 = 120'000,
+};
+
+constexpr Hertz scs_hz(Scs scs) { return static_cast<Hertz>(scs); }
+
+/// 3GPP numerology index mu for a sub-carrier spacing.
+constexpr int scs_mu(Scs scs) {
+  switch (scs) {
+    case Scs::kHz15: return 0;
+    case Scs::kHz30: return 1;
+    case Scs::kHz60: return 2;
+    case Scs::kHz120: return 3;
+  }
+  return 1;
+}
+
+/// Sub-carriers per physical resource block (3GPP TS 38.211).
+inline constexpr int kScPerPrb = 12;
+
+/// OFDM symbols per slot with normal cyclic prefix.
+inline constexpr int kSymbolsPerSlot = 14;
+
+/// Slots per subframe (1 ms) for a numerology.
+constexpr int slots_per_subframe(Scs scs) { return 1 << scs_mu(scs); }
+
+/// Nanoseconds in one slot for a numerology.
+constexpr std::int64_t slot_duration_ns(Scs scs) {
+  return 1'000'000 / slots_per_subframe(scs);
+}
+
+/// Approximate nanoseconds in one OFDM symbol (ignores CP irregularity;
+/// the paper quotes 33.3 us for a typical cell which is 1/14 of a 0.5 ms
+/// slot at 30 kHz SCS - this matches).
+constexpr std::int64_t symbol_duration_ns(Scs scs) {
+  return slot_duration_ns(scs) / kSymbolsPerSlot;
+}
+
+/// Transmission bandwidth in PRBs for a channel bandwidth at a given SCS
+/// (3GPP TS 38.101-1 Table 5.3.2-1, FR1). Returns 0 for unsupported combos.
+constexpr int prbs_for_bandwidth(Hertz bw, Scs scs) {
+  if (scs == Scs::kHz30) {
+    if (bw == MHz(10)) return 24;
+    if (bw == MHz(15)) return 38;
+    if (bw == MHz(20)) return 51;
+    if (bw == MHz(25)) return 65;
+    if (bw == MHz(30)) return 78;
+    if (bw == MHz(40)) return 106;
+    if (bw == MHz(50)) return 133;
+    if (bw == MHz(60)) return 162;
+    if (bw == MHz(80)) return 217;
+    if (bw == MHz(90)) return 245;
+    if (bw == MHz(100)) return 273;
+  } else if (scs == Scs::kHz15) {
+    if (bw == MHz(10)) return 52;
+    if (bw == MHz(20)) return 106;
+    if (bw == MHz(40)) return 216;
+    if (bw == MHz(50)) return 270;
+  }
+  return 0;
+}
+
+/// Decibel <-> linear conversions used by the channel model.
+double db_to_linear(double db);
+double linear_to_db(double linear);
+
+}  // namespace rb

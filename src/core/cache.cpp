@@ -1,0 +1,6 @@
+// cache.h is header-only.
+#include "core/cache.h"
+
+namespace rb {
+// Intentionally empty.
+}  // namespace rb

@@ -1,0 +1,93 @@
+// Packet cache: the A3 action.
+//
+// Middleboxes cache packets keyed on radio time + stream (slot, symbol,
+// eAxC, plane) so they can later combine them with packets arriving from
+// other sources (DAS uplink merge, RU-sharing mux/demux). Entries expire
+// when their slot passes, bounding memory exactly like the per-symbol
+// state window of a real fronthaul middlebox.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fronthaul/frame.h"
+#include "net/packet.h"
+
+namespace rb {
+
+/// A cached packet together with its parsed view (offsets into the packet
+/// buffer stay valid because the buffer is owned by the entry).
+struct CachedPacket {
+  PacketPtr pkt;
+  FhFrame frame;
+  int in_port = 0;
+};
+
+class PacketCache {
+ public:
+  /// Key helper: radio time + stream id + plane discriminator.
+  /// `aux` lets applications fold in their own discriminator (e.g. DU id).
+  static std::uint64_t key(const SlotPoint& at, const EaxcId& eaxc,
+                           bool cplane, std::uint8_t aux = 0) {
+    return (std::uint64_t(at.packed()) << 26) |
+           (std::uint64_t(eaxc.packed()) << 10) |
+           (std::uint64_t(aux) << 2) | (cplane ? 1u : 0u);
+  }
+  /// Key ignoring the symbol (slot-scoped state).
+  static std::uint64_t slot_key(SlotPoint at, const EaxcId& eaxc, bool cplane,
+                                std::uint8_t aux = 0) {
+    at.symbol = 0;
+    return key(at, eaxc, cplane, aux);
+  }
+
+  void put(std::uint64_t k, CachedPacket entry) {
+    map_[k].push_back(std::move(entry));
+    ++size_;
+  }
+
+  /// Entries under a key (empty vector if none).
+  const std::vector<CachedPacket>& peek(std::uint64_t k) const {
+    static const std::vector<CachedPacket> empty;
+    auto it = map_.find(k);
+    return it == map_.end() ? empty : it->second;
+  }
+  std::vector<CachedPacket>* find(std::uint64_t k) {
+    auto it = map_.find(k);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Remove and return all entries under a key.
+  std::vector<CachedPacket> take(std::uint64_t k) {
+    auto it = map_.find(k);
+    if (it == map_.end()) return {};
+    auto v = std::move(it->second);
+    map_.erase(it);
+    size_ -= v.size();
+    return v;
+  }
+
+  void erase(std::uint64_t k) {
+    auto it = map_.find(k);
+    if (it != map_.end()) {
+      size_ -= it->second.size();
+      map_.erase(it);
+    }
+  }
+
+  /// Drop every entry (slot boundary cleanup; per-symbol state must not
+  /// leak across slots).
+  void clear() {
+    map_.clear();
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t keys() const { return map_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<CachedPacket>> map_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rb

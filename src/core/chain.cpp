@@ -1,0 +1,39 @@
+#include "core/chain.h"
+
+#include <stdexcept>
+
+namespace rb {
+
+ChainPorts ChainBuilder::append(MiddleboxRuntime& rt) {
+  if (finalized_) throw std::logic_error("chain already finalized");
+  Stage st;
+  st.rt = &rt;
+  const std::string base = rt.config().name;
+  st.north = std::make_unique<Port>(base + ".north");
+  st.south = std::make_unique<Port>(base + ".south");
+  st.ports.north = rt.add_port("north", *st.north);
+  st.ports.south = rt.add_port("south", *st.south);
+  stages_.push_back(std::move(st));
+  return stages_.back().ports;
+}
+
+void ChainBuilder::finalize(Port& north_endpoint, Port& south_endpoint) {
+  if (finalized_) throw std::logic_error("chain already finalized");
+  if (stages_.empty()) throw std::logic_error("empty chain");
+  finalized_ = true;
+  Port::connect(north_endpoint, *stages_.front().north, kHopLatencyNs);
+  for (std::size_t i = 0; i + 1 < stages_.size(); ++i)
+    Port::connect(*stages_[i].south, *stages_[i + 1].north, kHopLatencyNs);
+  Port::connect(*stages_.back().south, south_endpoint, kHopLatencyNs);
+}
+
+std::uint64_t ChainBuilder::pcie_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& st : stages_) {
+    total += st.north->stats().tx_bytes + st.north->stats().rx_bytes;
+    total += st.south->stats().tx_bytes + st.south->stats().rx_bytes;
+  }
+  return total;
+}
+
+}  // namespace rb

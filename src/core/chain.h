@@ -1,0 +1,55 @@
+// Middlebox chaining over SR-IOV virtual functions (paper Figure 8).
+//
+// Each chained middlebox gets a north (DU-side) and a south (RU-side)
+// port; inter-stage hops model the VF -> embedded NIC switch -> VF path
+// with its PCIe crossing latency. The chain is transparent: endpoints are
+// wired to the outermost stage ports at finalize() time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/middlebox.h"
+
+namespace rb {
+
+/// Port indices a chained middlebox gets on its runtime.
+struct ChainPorts {
+  int north = -1;
+  int south = -1;
+};
+
+class ChainBuilder {
+ public:
+  /// Two PCIe crossings (VF out, VF in) per inter-stage hop.
+  static constexpr std::int64_t kHopLatencyNs = 1'200;
+
+  /// Append a middlebox to the chain in north-to-south order.
+  ChainPorts append(MiddleboxRuntime& rt);
+
+  /// Wire the chain between the DU-side and RU-side endpoints. The first
+  /// appended stage faces `north_endpoint`, the last faces
+  /// `south_endpoint`. Must be called exactly once, with >= 1 stage.
+  void finalize(Port& north_endpoint, Port& south_endpoint);
+
+  /// Bytes that crossed inter-stage (PCIe) hops - the chaining bottleneck
+  /// metric from the paper's section 5.
+  std::uint64_t pcie_bytes() const;
+
+  std::size_t num_stages() const { return stages_.size(); }
+
+ private:
+  struct Stage {
+    MiddleboxRuntime* rt = nullptr;
+    std::unique_ptr<Port> north;
+    std::unique_ptr<Port> south;
+    ChainPorts ports;
+  };
+
+  std::vector<Stage> stages_;
+  bool finalized_ = false;
+};
+
+}  // namespace rb

@@ -1,0 +1,31 @@
+#include "core/mgmt.h"
+
+#include <sstream>
+
+namespace rb {
+
+std::string MgmtEndpoint::handle(const std::string& cmd) {
+  std::istringstream is(cmd);
+  std::string verb;
+  is >> verb;
+  if (verb == "stats") {
+    return rt_->telemetry().dump();
+  }
+  if (verb == "name") {
+    return rt_->config().name;
+  }
+  if (verb == "counter") {
+    std::string key;
+    is >> key;
+    return std::to_string(rt_->telemetry().counter(key));
+  }
+  if (verb == "gauge") {
+    std::string key;
+    is >> key;
+    return std::to_string(rt_->telemetry().gauge(key));
+  }
+  // Everything else goes to the application.
+  return rt_->app().on_mgmt(cmd);
+}
+
+}  // namespace rb

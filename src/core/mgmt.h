@@ -1,0 +1,26 @@
+// Management interface: runtime configuration and stats of a middlebox.
+//
+// The paper's middleboxes "expose monitoring and management interfaces to
+// modify their behavior on-the-fly". This is a text command endpoint; an
+// operator (or orchestration) sends "stats", "get <gauge>", or app-defined
+// commands which are delegated to MiddleboxApp::on_mgmt.
+#pragma once
+
+#include <string>
+
+#include "core/middlebox.h"
+
+namespace rb {
+
+class MgmtEndpoint {
+ public:
+  explicit MgmtEndpoint(MiddleboxRuntime& rt) : rt_(&rt) {}
+
+  /// Handle one command line; returns the response text.
+  std::string handle(const std::string& cmd);
+
+ private:
+  MiddleboxRuntime* rt_;
+};
+
+}  // namespace rb

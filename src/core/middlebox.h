@@ -1,0 +1,220 @@
+// The RANBooster middlebox template (paper section 3.2.2).
+//
+// A developer writes a MiddleboxApp: a handler invoked per fronthaul frame
+// with an MbContext exposing the four RANBooster actions:
+//   A1  forward()/drop()           - redirection & drop
+//   A2  replicate()                - packet cloning
+//   A3  cache()                    - keyed packet store
+//   A4  payload helpers            - O-RAN header & IQ modification
+// The MiddleboxRuntime owns the ports/drivers, parses frames, invokes the
+// handler, and does the cost/latency accounting that the evaluation
+// (Figures 15-16) measures. The same template builds all four reference
+// applications in src/mb.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cache.h"
+#include "core/telemetry.h"
+#include "fronthaul/frame.h"
+#include "net/driver.h"
+#include "net/packet.h"
+#include "ran/engine.h"
+
+namespace rb {
+
+/// Deterministic per-operation work costs (nanoseconds). Calibrated to the
+/// FlexRAN-grade kernels of the paper's testbed so the latency/scaling
+/// results of section 6.4 reproduce; our scalar codec's real timings are
+/// reported separately by bench_fig15b. See DESIGN.md.
+struct WorkCosts {
+  double forward_ns = 80;
+  double clone_per_kb_ns = 40;
+  double clone_base_ns = 100;
+  double cache_op_ns = 35;
+  double hdr_rewrite_ns = 25;
+  double per_prb_decompress_ns = 4.3;
+  double per_prb_compress_ns = 6.0;
+  double per_prb_copy_ns = 1.2;
+  double per_prb_scan_ns = 0.5;
+};
+
+enum class DriverKind : std::uint8_t { Dpdk, Xdp };
+
+class MiddleboxRuntime;
+
+/// Action facade handed to the handler. Bound to the runtime and to the
+/// worker/time context of the packet being processed.
+class MbContext {
+ public:
+  // --- A1: redirection & drop ---------------------------------------
+  /// Rewrite addressing (optionally) and transmit on `out_port`.
+  void forward(PacketPtr p, int out_port,
+               std::optional<MacAddr> dst = std::nullopt,
+               std::optional<MacAddr> src = std::nullopt);
+  /// Drop: account and release.
+  void drop(PacketPtr p);
+
+  // --- A2: replication ----------------------------------------------
+  PacketPtr replicate(const Packet& p);
+
+  // --- A3: caching --------------------------------------------------
+  PacketCache& cache();
+  /// Account one cache operation (put/take).
+  void charge_cache_op();
+
+  // --- A4: payload inspection & modification -------------------------
+  /// Rewrite the eAxC (antenna port remap). Charges a header rewrite.
+  bool rewrite_eaxc(Packet& p, const EaxcId& eaxc);
+  /// BFP exponent of one PRB of a U-plane section (no decompression).
+  std::uint8_t prb_exponent(const Packet& p, const USection& sec, int prb);
+  /// Element-wise merge of N compressed section payloads into `dst`
+  /// (decompress + sum + recompress). Returns bytes written, 0 on error.
+  std::size_t merge_payloads(
+      std::span<const std::span<const std::uint8_t>> srcs, int n_prb,
+      const CompConfig& cfg, std::span<std::uint8_t> dst);
+  /// Aligned compressed-PRB copy between payloads (no codec work).
+  bool copy_prbs(std::span<const std::uint8_t> src, int src_prb,
+                 std::span<std::uint8_t> dst, int dst_prb, int n_prb,
+                 const CompConfig& cfg);
+  /// Misaligned copy: decompress, shift by `shift_sc` sub-carriers,
+  /// recompress (the expensive path Figure 6 motivates avoiding).
+  bool copy_prbs_misaligned(std::span<const std::uint8_t> src, int src_prb,
+                            std::span<std::uint8_t> dst, int dst_prb,
+                            int n_prb, int shift_sc, const CompConfig& cfg);
+  /// Explicit cost charge for custom A4 work.
+  void charge(double ns);
+  /// Draw a fresh packet from the middlebox pool (for assembled frames).
+  PacketPtr alloc_packet();
+
+  // --- environment ----------------------------------------------------
+  Telemetry& telemetry();
+  /// Default (config) fronthaul context.
+  const FhContext& fh() const;
+  /// Per-port fronthaul context: M-plane provisioning differs per link
+  /// (e.g. RU sharing: each DU's carrier defines its numPrbu==0 meaning).
+  const FhContext& fh(int port) const;
+  std::int64_t slot() const { return slot_; }
+  std::int64_t slot_start_ns() const { return slot_start_ns_; }
+
+ private:
+  friend class MiddleboxRuntime;
+  MbContext(MiddleboxRuntime* rt, int in_port, std::int64_t slot,
+            std::int64_t slot_start_ns)
+      : rt_(rt), in_port_(in_port), slot_(slot), slot_start_ns_(slot_start_ns) {}
+
+  MiddleboxRuntime* rt_;
+  int in_port_;
+  std::int64_t slot_;
+  std::int64_t slot_start_ns_;
+  double cost_ns_ = 0.0;          // accumulated for the current packet
+  std::int64_t start_ns_ = 0;     // when the worker started this packet
+  std::vector<std::pair<PacketPtr, int>> tx_queue_;  // emitted packets
+};
+
+/// User-provided middlebox logic.
+class MiddleboxApp {
+ public:
+  virtual ~MiddleboxApp() = default;
+  virtual std::string name() const = 0;
+  /// Handler for a parsed fronthaul frame. Take ownership of `p` via the
+  /// context actions (forward/drop/cache); unconsumed packets are dropped.
+  virtual void on_frame(int in_port, PacketPtr p, FhFrame& frame,
+                        MbContext& ctx) = 0;
+  /// Non-fronthaul traffic (default: transparent drop).
+  virtual void on_other(int in_port, PacketPtr p, MbContext& ctx);
+  /// Where this frame's processing would run under the XDP split
+  /// (Table 1); determines the AF_XDP punt charge under DriverKind::Xdp.
+  virtual ProcessingLocus locus(const FhFrame& frame) const {
+    (void)frame;
+    return ProcessingLocus::Userspace;
+  }
+  /// Management command hook ("set key value" / "get key").
+  virtual std::string on_mgmt(const std::string& cmd) {
+    (void)cmd;
+    return "unknown command";
+  }
+  /// Slot boundary notification.
+  virtual void on_slot(std::int64_t slot, MbContext& ctx) {
+    (void)slot;
+    (void)ctx;
+  }
+};
+
+/// Runtime: ports, drivers, parse loop, accounting. Implements Pumpable so
+/// the SlotEngine can drive it.
+class MiddleboxRuntime final : public Pumpable {
+ public:
+  struct Config {
+    std::string name = "mb";
+    FhContext fh{};
+    DriverKind driver = DriverKind::Dpdk;
+    DriverCosts driver_costs{};
+    WorkCosts work{};
+    int n_workers = 1;
+    std::size_t pool_capacity = 8192;
+  };
+
+  MiddleboxRuntime(Config cfg, MiddleboxApp& app);
+
+  /// Register a port; returns its index (used by forward()). `fh`
+  /// overrides the config fronthaul context for frames of this port.
+  int add_port(const std::string& name, Port& port,
+               std::optional<FhContext> fh = std::nullopt);
+  int num_ports() const { return int(drivers_.size()); }
+  Port& port(int idx) { return drivers_[std::size_t(idx)]->port(); }
+
+  // Pumpable:
+  bool pump(std::int64_t slot, std::int64_t slot_start_ns) override;
+  void begin_slot(std::int64_t slot) override;
+
+  /// CPU utilization of the middlebox core(s) over the window since the
+  /// last reset_cpu(): 1.0 for DPDK (poll), busy/wall for XDP.
+  double cpu_utilization(std::int64_t now_ns) const;
+  void reset_cpu(std::int64_t now_ns);
+
+  Telemetry& telemetry() { return telemetry_; }
+  PacketCache& cache() { return cache_; }
+  MiddleboxApp& app() { return *app_; }
+  const Config& config() const { return cfg_; }
+  PacketPool& pool() { return pool_; }
+
+  /// Max packet added-latency observed in the last completed slot (ns).
+  std::int64_t last_slot_max_latency_ns() const {
+    return last_slot_max_latency_ns_;
+  }
+
+  /// Per-packet cost sampling (latency microbenchmarks): called after each
+  /// handler invocation with the parsed frame (null for non-fronthaul)
+  /// and the modeled processing cost.
+  using CostSampler = std::function<void(const FhFrame*, double cost_ns)>;
+  void set_cost_sampler(CostSampler s) { cost_sampler_ = std::move(s); }
+
+ private:
+  friend class MbContext;
+  void process_packet(int in_port, PacketPtr p, std::int64_t slot,
+                      std::int64_t slot_start_ns);
+  /// Pick the worker with the earliest availability.
+  std::size_t pick_worker() const;
+
+  Config cfg_;
+  MiddleboxApp* app_;
+  PacketPool pool_;
+  std::vector<std::unique_ptr<Driver>> drivers_;
+  std::vector<FhContext> port_fh_;
+  std::vector<std::int64_t> worker_free_at_;
+  PacketCache cache_;
+  Telemetry telemetry_;
+  std::int64_t cpu_window_start_ns_ = 0;
+  std::int64_t slot_max_latency_ns_ = 0;
+  std::int64_t last_slot_max_latency_ns_ = 0;
+  std::int64_t current_slot_start_ns_ = 0;
+  CostSampler cost_sampler_;
+};
+
+}  // namespace rb

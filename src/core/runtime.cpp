@@ -1,0 +1,249 @@
+#include "core/middlebox.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "iq/prb.h"
+
+namespace rb {
+namespace {
+thread_local PrbScratch g_scratch;
+}  // namespace
+
+// ----------------------------------------------------------------------
+// MbContext: the action facade
+// ----------------------------------------------------------------------
+
+void MbContext::forward(PacketPtr p, int out_port,
+                        std::optional<MacAddr> dst,
+                        std::optional<MacAddr> src) {
+  if (!p) return;
+  if (dst || src) {
+    rewrite_eth_addrs(p->raw().first(p->len()), dst, src);
+    cost_ns_ += rt_->cfg_.work.hdr_rewrite_ns;
+  }
+  cost_ns_ += rt_->cfg_.work.forward_ns;
+  tx_queue_.emplace_back(std::move(p), out_port);
+  rt_->telemetry_.inc("pkts_forwarded");
+}
+
+void MbContext::drop(PacketPtr p) {
+  if (!p) return;
+  rt_->telemetry_.inc("pkts_dropped");
+  // PacketPtr destructor returns the buffer to the pool.
+}
+
+PacketPtr MbContext::replicate(const Packet& p) {
+  PacketPtr c = rt_->pool_.clone(p);
+  if (!c) {
+    rt_->telemetry_.inc("replicate_failures");
+    return nullptr;
+  }
+  cost_ns_ += rt_->cfg_.work.clone_base_ns +
+              rt_->cfg_.work.clone_per_kb_ns * double(p.len()) / 1024.0;
+  rt_->telemetry_.inc("pkts_replicated");
+  return c;
+}
+
+PacketCache& MbContext::cache() { return rt_->cache_; }
+
+void MbContext::charge_cache_op() {
+  cost_ns_ += rt_->cfg_.work.cache_op_ns;
+  rt_->telemetry_.inc("cache_ops");
+}
+
+bool MbContext::rewrite_eaxc(Packet& p, const EaxcId& eaxc) {
+  cost_ns_ += rt_->cfg_.work.hdr_rewrite_ns;
+  return ::rb::rewrite_eaxc(p.raw().first(p.len()), eaxc);
+}
+
+std::uint8_t MbContext::prb_exponent(const Packet& p, const USection& sec,
+                                     int prb) {
+  cost_ns_ += rt_->cfg_.work.per_prb_scan_ns;
+  const std::size_t off =
+      sec.payload_offset + std::size_t(prb) * sec.comp.prb_bytes();
+  if (off >= p.len()) return 0;
+  return bfp_wire_exponent(p.data().subspan(off));
+}
+
+std::size_t MbContext::merge_payloads(
+    std::span<const std::span<const std::uint8_t>> srcs, int n_prb,
+    const CompConfig& cfg, std::span<std::uint8_t> dst) {
+  cost_ns_ += double(n_prb) *
+              (rt_->cfg_.work.per_prb_decompress_ns * double(srcs.size()) +
+               rt_->cfg_.work.per_prb_compress_ns);
+  rt_->telemetry_.inc("iq_merges");
+  return merge_compressed(srcs, n_prb, cfg, dst, g_scratch);
+}
+
+bool MbContext::copy_prbs(std::span<const std::uint8_t> src, int src_prb,
+                          std::span<std::uint8_t> dst, int dst_prb, int n_prb,
+                          const CompConfig& cfg) {
+  cost_ns_ += rt_->cfg_.work.per_prb_copy_ns * double(n_prb);
+  return copy_prbs_aligned(src, src_prb, dst, dst_prb, n_prb, cfg);
+}
+
+bool MbContext::copy_prbs_misaligned(std::span<const std::uint8_t> src,
+                                     int src_prb,
+                                     std::span<std::uint8_t> dst, int dst_prb,
+                                     int n_prb, int shift_sc,
+                                     const CompConfig& cfg) {
+  cost_ns_ += double(n_prb) * (rt_->cfg_.work.per_prb_decompress_ns * 2 +
+                               rt_->cfg_.work.per_prb_compress_ns);
+  return copy_prbs_shifted(src, src_prb, dst, dst_prb, n_prb, shift_sc, cfg,
+                           g_scratch);
+}
+
+void MbContext::charge(double ns) { cost_ns_ += ns; }
+
+PacketPtr MbContext::alloc_packet() {
+  PacketPtr p = rt_->pool_.alloc();
+  if (!p) rt_->telemetry_.inc("pool_exhausted");
+  return p;
+}
+
+Telemetry& MbContext::telemetry() { return rt_->telemetry_; }
+const FhContext& MbContext::fh() const { return rt_->cfg_.fh; }
+const FhContext& MbContext::fh(int port) const {
+  if (port >= 0 && port < int(rt_->port_fh_.size()))
+    return rt_->port_fh_[std::size_t(port)];
+  return rt_->cfg_.fh;
+}
+
+// ----------------------------------------------------------------------
+// MiddleboxApp defaults
+// ----------------------------------------------------------------------
+
+void MiddleboxApp::on_other(int in_port, PacketPtr p, MbContext& ctx) {
+  (void)in_port;
+  ctx.drop(std::move(p));
+}
+
+// ----------------------------------------------------------------------
+// MiddleboxRuntime
+// ----------------------------------------------------------------------
+
+MiddleboxRuntime::MiddleboxRuntime(Config cfg, MiddleboxApp& app)
+    : cfg_(std::move(cfg)), app_(&app), pool_(cfg_.pool_capacity) {
+  worker_free_at_.assign(std::size_t(std::max(1, cfg_.n_workers)), 0);
+}
+
+int MiddleboxRuntime::add_port(const std::string& name, Port& port,
+                               std::optional<FhContext> fh) {
+  (void)name;
+  std::unique_ptr<Driver> d;
+  if (cfg_.driver == DriverKind::Dpdk)
+    d = std::make_unique<PollDriver>(port, cfg_.driver_costs);
+  else
+    d = std::make_unique<IrqDriver>(port, cfg_.driver_costs);
+  drivers_.push_back(std::move(d));
+  port_fh_.push_back(fh.value_or(cfg_.fh));
+  return int(drivers_.size()) - 1;
+}
+
+std::size_t MiddleboxRuntime::pick_worker() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < worker_free_at_.size(); ++i)
+    if (worker_free_at_[i] < worker_free_at_[best]) best = i;
+  return best;
+}
+
+void MiddleboxRuntime::begin_slot(std::int64_t slot) {
+  // Per-symbol state must not leak across slots; real middleboxes bound
+  // their caches to the fronthaul timing window.
+  cache_.clear();
+  last_slot_max_latency_ns_ = slot_max_latency_ns_;
+  slot_max_latency_ns_ = 0;
+  // Workers idle at slot boundaries.
+  for (auto& w : worker_free_at_) w = 0;
+  MbContext ctx(this, -1, slot, current_slot_start_ns_);
+  app_->on_slot(slot, ctx);
+  for (auto& [pkt, out] : ctx.tx_queue_) {
+    if (out >= 0 && out < num_ports())
+      drivers_[std::size_t(out)]->tx(std::move(pkt));
+  }
+}
+
+void MiddleboxRuntime::process_packet(int in_port, PacketPtr p,
+                                      std::int64_t slot,
+                                      std::int64_t slot_start_ns) {
+  current_slot_start_ns_ = slot_start_ns;
+  const std::size_t w = pick_worker();
+  const std::int64_t arrive = p->rx_time_ns;
+  const std::int64_t start = std::max(arrive, worker_free_at_[w]);
+
+  MbContext ctx(this, in_port, slot, slot_start_ns);
+  ctx.start_ns_ = start;
+
+  auto frame = parse_frame(p->data(), port_fh_[std::size_t(in_port)]);
+  ProcessingLocus locus = ProcessingLocus::Userspace;
+  if (frame) {
+    locus = app_->locus(*frame);
+    telemetry_.inc(frame->is_cplane() ? "cplane_rx" : "uplane_rx");
+    app_->on_frame(in_port, std::move(p), *frame, ctx);
+  } else {
+    if (getenv("RB_DEBUG_PARSE")) {
+      auto d = p->data();
+      fprintf(stderr, "[parsefail] len=%zu bytes:", d.size());
+      for (std::size_t i = 0; i < 48 && i < d.size(); ++i)
+        fprintf(stderr, " %02x", d[i]);
+      fprintf(stderr, "\n");
+    }
+    telemetry_.inc("non_fh_rx");
+    app_->on_other(in_port, std::move(p), ctx);
+  }
+  if (cost_sampler_) cost_sampler_(frame ? &*frame : nullptr, ctx.cost_ns_);
+
+  // Account the accumulated work: CPU meter + queueing latency.
+  const std::int64_t cost = std::int64_t(ctx.cost_ns_);
+  drivers_[std::size_t(in_port)]->charge_handler(cost, locus);
+  const std::int64_t done = start + cost;
+  worker_free_at_[w] = done;
+  slot_max_latency_ns_ = std::max(slot_max_latency_ns_, done - slot_start_ns);
+
+  for (auto& [pkt, out] : ctx.tx_queue_) {
+    if (out < 0 || out >= num_ports()) continue;
+    // The packet leaves when its worker finished processing it.
+    pkt->rx_time_ns = std::max(pkt->rx_time_ns, done);
+    drivers_[std::size_t(out)]->tx(std::move(pkt));
+  }
+}
+
+bool MiddleboxRuntime::pump(std::int64_t slot, std::int64_t slot_start_ns) {
+  // Drain every port, then process in virtual-arrival order: the worker
+  // queueing model requires monotonic start times to be meaningful.
+  std::vector<std::pair<int, PacketPtr>> batch;
+  std::vector<PacketPtr> pkts;
+  for (std::size_t i = 0; i < drivers_.size(); ++i) {
+    while (drivers_[i]->rx_burst(pkts, 32) > 0) {
+      for (auto& p : pkts) batch.emplace_back(int(i), std::move(p));
+      pkts.clear();
+    }
+  }
+  if (batch.empty()) return false;
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second->rx_time_ns < b.second->rx_time_ns;
+                   });
+  for (auto& [in_port, p] : batch)
+    process_packet(in_port, std::move(p), slot, slot_start_ns);
+  return true;
+}
+
+double MiddleboxRuntime::cpu_utilization(std::int64_t now_ns) const {
+  if (cfg_.driver == DriverKind::Dpdk) return 1.0;
+  const std::int64_t wall = now_ns - cpu_window_start_ns_;
+  if (wall <= 0) return 0.0;
+  std::int64_t busy = 0;
+  for (const auto& d : drivers_) busy += d->meter().busy_ns();
+  double u = double(busy) / double(wall);
+  return u > 1.0 ? 1.0 : u;
+}
+
+void MiddleboxRuntime::reset_cpu(std::int64_t now_ns) {
+  cpu_window_start_ns_ = now_ns;
+  for (auto& d : drivers_) d->meter().reset();
+}
+
+}  // namespace rb

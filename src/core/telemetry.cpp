@@ -1,0 +1,14 @@
+#include "core/telemetry.h"
+
+#include <sstream>
+
+namespace rb {
+
+std::string Telemetry::dump() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : counters_) os << k << "=" << v << "\n";
+  for (const auto& [k, v] : gauges_) os << k << "=" << v << "\n";
+  return os.str();
+}
+
+}  // namespace rb

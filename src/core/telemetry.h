@@ -1,0 +1,61 @@
+// Telemetry interface of a RANBooster middlebox.
+//
+// Every middlebox exposes named counters/gauges plus a streaming sample
+// channel that external applications subscribe to (the paper's PRB monitor
+// pushes sub-millisecond utilization samples through this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rb {
+
+/// One streamed telemetry sample.
+struct TelemetrySample {
+  std::int64_t slot = 0;
+  std::string key;
+  double value = 0.0;
+};
+
+class Telemetry {
+ public:
+  void inc(const std::string& name, std::uint64_t v = 1) {
+    counters_[name] += v;
+  }
+  std::uint64_t counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void set_gauge(const std::string& name, double v) { gauges_[name] = v; }
+  double gauge(const std::string& name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+
+  /// Publish a streaming sample to all subscribers.
+  void publish(const TelemetrySample& s) {
+    for (const auto& sub : subscribers_) sub(s);
+  }
+  void subscribe(std::function<void(const TelemetrySample&)> cb) {
+    subscribers_.push_back(std::move(cb));
+  }
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+
+  /// Render all counters/gauges as "key=value" lines (management dump).
+  std::string dump() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::vector<std::function<void(const TelemetrySample&)>> subscribers_;
+};
+
+}  // namespace rb

@@ -1,0 +1,99 @@
+#include "fronthaul/cplane.h"
+
+namespace rb {
+
+bool CPlaneMsg::encode(BufWriter& w) const {
+  // Octet 1: dataDirection(1) | payloadVersion(3) | filterIndex(4)
+  w.u8(std::uint8_t((std::uint8_t(direction) << 7) |
+                    ((payload_version & 0x7) << 4) | (filter_index & 0xf)));
+  w.u8(at.frame);
+  // subframeId(4) | slotId(6) | startSymbolid(6)
+  std::uint16_t ssf = std::uint16_t(((at.subframe & 0xf) << 12) |
+                                    ((at.slot & 0x3f) << 6) |
+                                    (at.symbol & 0x3f));
+  w.u16(ssf);
+  w.u8(std::uint8_t(sections.size()));
+  w.u8(std::uint8_t(section_type));
+  if (section_type == SectionType::Type1) {
+    w.u8(comp.ud_comp_hdr());
+    w.u8(0);  // reserved
+  } else {
+    w.u16(time_offset);
+    w.u8(frame_structure);
+    w.u16(cp_length);
+    w.u8(comp.ud_comp_hdr());
+  }
+  for (const auto& s : sections) {
+    // sectionId(12) | rb(1) | symInc(1) | startPrbc(10)
+    std::uint32_t w24 = (std::uint32_t(s.section_id & 0xfff) << 12) |
+                        (std::uint32_t(s.rb) << 11) |
+                        (std::uint32_t(s.sym_inc) << 10) |
+                        (s.start_prb & 0x3ff);
+    w.u24(w24);
+    w.u8(std::uint8_t(s.num_prb > 255 ? 0 : s.num_prb));
+    // reMask(12) | numSymbol(4)
+    w.u16(std::uint16_t(((s.re_mask & 0xfff) << 4) | (s.num_symbol & 0xf)));
+    // ef(1) | beamId(15)
+    w.u16(std::uint16_t((std::uint16_t(s.ef) << 15) | (s.beam_id & 0x7fff)));
+    if (section_type == SectionType::Type3) {
+      w.u24(std::uint32_t(s.freq_offset) & 0xffffff);
+      w.u8(0);  // reserved
+    }
+  }
+  return w.ok();
+}
+
+std::optional<CPlaneMsg> CPlaneMsg::parse(BufReader& r) {
+  CPlaneMsg m;
+  std::uint8_t b0 = r.u8();
+  m.direction = (b0 & 0x80) ? Direction::Downlink : Direction::Uplink;
+  m.payload_version = std::uint8_t((b0 >> 4) & 0x7);
+  m.filter_index = std::uint8_t(b0 & 0xf);
+  m.at.frame = r.u8();
+  std::uint16_t ssf = r.u16();
+  m.at.subframe = std::uint8_t((ssf >> 12) & 0xf);
+  m.at.slot = std::uint8_t((ssf >> 6) & 0x3f);
+  m.at.symbol = std::uint8_t(ssf & 0x3f);
+  std::uint8_t n_sections = r.u8();
+  std::uint8_t st = r.u8();
+  if (!r.ok()) return std::nullopt;
+  if (st != 1 && st != 3) return std::nullopt;
+  m.section_type = static_cast<SectionType>(st);
+  if (m.section_type == SectionType::Type1) {
+    m.comp = CompConfig::from_ud_comp_hdr(r.u8());
+    r.skip(1);
+  } else {
+    m.time_offset = r.u16();
+    m.frame_structure = r.u8();
+    m.cp_length = r.u16();
+    m.comp = CompConfig::from_ud_comp_hdr(r.u8());
+  }
+  m.sections.reserve(n_sections);
+  for (int i = 0; i < n_sections; ++i) {
+    CSection s;
+    std::uint32_t w24 = r.u24();
+    s.section_id = std::uint16_t((w24 >> 12) & 0xfff);
+    s.rb = (w24 >> 11) & 1;
+    s.sym_inc = (w24 >> 10) & 1;
+    s.start_prb = std::uint16_t(w24 & 0x3ff);
+    s.num_prb = r.u8();
+    std::uint16_t rm = r.u16();
+    s.re_mask = std::uint16_t((rm >> 4) & 0xfff);
+    s.num_symbol = std::uint8_t(rm & 0xf);
+    std::uint16_t eb = r.u16();
+    s.ef = (eb >> 15) & 1;
+    s.beam_id = std::uint16_t(eb & 0x7fff);
+    if (m.section_type == SectionType::Type3) {
+      std::uint32_t fo = r.u24();
+      // Sign-extend the 24-bit field.
+      if (fo & 0x800000) fo |= 0xff000000;
+      s.freq_offset = std::int32_t(fo);
+      r.skip(1);
+    }
+    if (!r.ok()) return std::nullopt;
+    m.sections.push_back(s);
+  }
+  return m;
+}
+
+}  // namespace rb

@@ -1,0 +1,68 @@
+// O-RAN C-plane message codec (WG4 CUS-plane spec section 7).
+//
+// Implements section type 1 (most DL/UL channels) and section type 3
+// (PRACH / mixed numerology), which are the two the reference middleboxes
+// manipulate. Field layouts follow the spec's octet tables; multi-field
+// octets are packed exactly as on the wire so captures of these frames are
+// dissectable by Wireshark's oran_fh_cus plugin.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/timing.h"
+#include "fronthaul/fh_config.h"
+
+namespace rb {
+
+/// One C-plane section (type 1 body; type 3 appends frequency fields).
+struct CSection {
+  std::uint16_t section_id = 0;  // 12 bits
+  bool rb = false;               // 0: every RB used, 1: every other RB
+  bool sym_inc = false;
+  std::uint16_t start_prb = 0;   // startPrbc, 10 bits
+  std::uint16_t num_prb = 0;     // numPrbc: 0 means "all PRBs" (>255 carriers)
+  std::uint16_t re_mask = 0x0fff;
+  std::uint8_t num_symbol = 1;   // 4 bits
+  bool ef = false;
+  std::uint16_t beam_id = 0;     // 15 bits
+  // --- section type 3 only ---
+  std::int32_t freq_offset = 0;  // 24-bit signed, units of SCS/2
+
+  friend bool operator==(const CSection&, const CSection&) = default;
+
+  /// Effective PRB count given the carrier size (numPrbc==0 => whole
+  /// carrier, per spec).
+  int effective_prbs(int carrier_prbs) const {
+    return num_prb == 0 ? carrier_prbs : num_prb;
+  }
+};
+
+/// A parsed/boildable C-plane message (one eCPRI frame).
+struct CPlaneMsg {
+  Direction direction = Direction::Downlink;
+  std::uint8_t payload_version = 1;  // 3 bits
+  std::uint8_t filter_index = 0;     // 4 bits
+  SlotPoint at{};                    // frame/subframe/slot/startSymbol
+  SectionType section_type = SectionType::Type1;
+  CompConfig comp{};                 // from udCompHdr
+  // --- section type 3 only ---
+  std::uint16_t time_offset = 0;
+  std::uint8_t frame_structure = 0;
+  std::uint16_t cp_length = 0;
+
+  std::vector<CSection> sections;
+
+  friend bool operator==(const CPlaneMsg&, const CPlaneMsg&) = default;
+
+  /// Encode the radio-application layer (everything after eCPRI header).
+  /// Returns false if the buffer overflows.
+  bool encode(BufWriter& w) const;
+
+  /// Parse the radio-application layer.
+  static std::optional<CPlaneMsg> parse(BufReader& r);
+};
+
+}  // namespace rb

@@ -1,0 +1,30 @@
+#include "fronthaul/ecpri.h"
+
+namespace rb {
+
+void EcpriHeader::encode(BufWriter& w) const {
+  // byte 0: version(4)=1 | reserved(3)=0 | concatenation(1)=0
+  w.u8(0x10);
+  w.u8(std::uint8_t(msg_type));
+  w.u16(payload_size);
+  w.u16(eaxc.packed());
+  w.u8(seq_id);
+  w.u8(std::uint8_t((e_bit ? 0x80 : 0x00) | (sub_seq_id & 0x7f)));
+}
+
+std::optional<EcpriHeader> EcpriHeader::parse(BufReader& r) {
+  std::uint8_t b0 = r.u8();
+  if (!r.ok() || (b0 >> 4) != 1) return std::nullopt;  // eCPRI version 1
+  EcpriHeader h;
+  h.msg_type = static_cast<EcpriMsgType>(r.u8());
+  h.payload_size = r.u16();
+  h.eaxc = EaxcId::unpack(r.u16());
+  h.seq_id = r.u8();
+  std::uint8_t sb = r.u8();
+  h.e_bit = (sb & 0x80) != 0;
+  h.sub_seq_id = std::uint8_t(sb & 0x7f);
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+}  // namespace rb

@@ -1,0 +1,37 @@
+// eCPRI transport header codec (eCPRI spec v2.0, one-way messages).
+//
+// O-RAN CUS-plane rides on two eCPRI message types:
+//   type 0 (IQ data)          -> U-plane
+//   type 2 (real-time control) -> C-plane
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "fronthaul/fh_config.h"
+
+namespace rb {
+
+enum class EcpriMsgType : std::uint8_t {
+  IqData = 0,          // U-plane
+  RtControl = 2,       // C-plane
+};
+
+struct EcpriHeader {
+  EcpriMsgType msg_type = EcpriMsgType::IqData;
+  std::uint16_t payload_size = 0;  // bytes after the 4-byte common header
+  EaxcId eaxc{};                   // ecpriPcid (U) / ecpriRtcid (C)
+  std::uint8_t seq_id = 0;
+  std::uint8_t sub_seq_id = 0;     // 7 bits
+  bool e_bit = true;               // last fragment indicator
+
+  friend bool operator==(const EcpriHeader&, const EcpriHeader&) = default;
+
+  static constexpr std::size_t kWireSize = 8;
+
+  void encode(BufWriter& w) const;
+  static std::optional<EcpriHeader> parse(BufReader& r);
+};
+
+}  // namespace rb

@@ -1,0 +1,37 @@
+#include "fronthaul/ethernet.h"
+
+namespace rb {
+
+void EthHeader::encode(BufWriter& w) const {
+  w.bytes(std::span<const std::uint8_t>(dst.bytes.data(), 6));
+  w.bytes(std::span<const std::uint8_t>(src.bytes.data(), 6));
+  if (has_vlan) {
+    w.u16(kEtherTypeVlan);
+    w.u16(std::uint16_t(((pcp & 0x7) << 13) | (vlan_id & 0x0fff)));
+  }
+  w.u16(ethertype);
+}
+
+std::optional<EthHeader> EthHeader::parse(BufReader& r) {
+  EthHeader h;
+  auto d = r.view(6);
+  auto s = r.view(6);
+  if (!r.ok()) return std::nullopt;
+  std::copy(d.begin(), d.end(), h.dst.bytes.begin());
+  std::copy(s.begin(), s.end(), h.src.bytes.begin());
+  std::uint16_t et = r.u16();
+  if (et == kEtherTypeVlan) {
+    std::uint16_t tci = r.u16();
+    h.has_vlan = true;
+    h.pcp = std::uint8_t((tci >> 13) & 0x7);
+    h.vlan_id = std::uint16_t(tci & 0x0fff);
+    et = r.u16();
+  } else {
+    h.has_vlan = false;
+  }
+  h.ethertype = et;
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+}  // namespace rb

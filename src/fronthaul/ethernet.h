@@ -1,0 +1,32 @@
+// Ethernet II + optional 802.1Q header codec.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/bytes.h"
+#include "common/mac_addr.h"
+
+namespace rb {
+
+inline constexpr std::uint16_t kEtherTypeVlan = 0x8100;
+inline constexpr std::uint16_t kEtherTypeEcpri = 0xAEFE;
+
+struct EthHeader {
+  MacAddr dst{};
+  MacAddr src{};
+  bool has_vlan = true;
+  std::uint8_t pcp = 0;        // 802.1Q priority
+  std::uint16_t vlan_id = 0;   // 12-bit VID
+  std::uint16_t ethertype = kEtherTypeEcpri;
+
+  friend bool operator==(const EthHeader&, const EthHeader&) = default;
+
+  std::size_t wire_size() const { return has_vlan ? 18u : 14u; }
+
+  void encode(BufWriter& w) const;
+  static std::optional<EthHeader> parse(BufReader& r);
+};
+
+}  // namespace rb

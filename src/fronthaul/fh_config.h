@@ -1,0 +1,48 @@
+// Shared fronthaul configuration and identifiers.
+#pragma once
+
+#include <cstdint>
+
+#include "iq/bfp.h"
+
+namespace rb {
+
+/// eCPRI eAxC identifier (ecpriPcid / ecpriRtcid): addresses one logical
+/// antenna stream of one carrier. We use the common 4/4/4/4 bit layout.
+struct EaxcId {
+  std::uint8_t du_port = 0;      // DU processing chain
+  std::uint8_t band_sector = 0;  // band/sector
+  std::uint8_t cc = 0;           // component carrier
+  std::uint8_t ru_port = 0;      // RU antenna port (spatial stream)
+
+  friend auto operator<=>(const EaxcId&, const EaxcId&) = default;
+
+  std::uint16_t packed() const {
+    return std::uint16_t(((du_port & 0xf) << 12) | ((band_sector & 0xf) << 8) |
+                         ((cc & 0xf) << 4) | (ru_port & 0xf));
+  }
+  static EaxcId unpack(std::uint16_t v) {
+    return EaxcId{std::uint8_t((v >> 12) & 0xf), std::uint8_t((v >> 8) & 0xf),
+                  std::uint8_t((v >> 4) & 0xf), std::uint8_t(v & 0xf)};
+  }
+};
+
+/// Static fronthaul parameters both ends agree on out of band (M-plane in a
+/// real deployment). Parsers need these because numPrbu == 0 means "whole
+/// carrier" and the U-plane compression header may be omitted.
+struct FhContext {
+  CompConfig comp{};
+  int carrier_prbs = 273;             // carrier transmission bandwidth
+  bool uplane_has_comp_hdr = true;    // udCompHdr present in U-plane sections
+  std::uint16_t vlan_id = 6;          // VLAN the CUS-plane rides on
+
+  friend bool operator==(const FhContext&, const FhContext&) = default;
+};
+
+/// O-RAN C-plane section types this library implements.
+enum class SectionType : std::uint8_t {
+  Type1 = 1,  // most channels (DL/UL data)
+  Type3 = 3,  // PRACH and mixed-numerology channels
+};
+
+}  // namespace rb

@@ -1,0 +1,45 @@
+#include "fronthaul/pcap.h"
+
+namespace rb {
+namespace {
+
+void put_u32(std::FILE* f, std::uint32_t v) {
+  std::fwrite(&v, sizeof(v), 1, f);  // pcap headers are host-endian
+}
+void put_u16(std::FILE* f, std::uint16_t v) { std::fwrite(&v, sizeof(v), 1, f); }
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (!file_) return;
+  // Global header: magic (us resolution), v2.4, LINKTYPE_ETHERNET(1).
+  put_u32(file_, 0xa1b2c3d4);
+  put_u16(file_, 2);
+  put_u16(file_, 4);
+  put_u32(file_, 0);        // thiszone
+  put_u32(file_, 0);        // sigfigs
+  put_u32(file_, 65535);    // snaplen
+  put_u32(file_, 1);        // Ethernet
+}
+
+PcapWriter::~PcapWriter() {
+  if (file_) std::fclose(file_);
+}
+
+void PcapWriter::write(std::span<const std::uint8_t> frame,
+                       std::int64_t ts_ns) {
+  if (!file_ || frame.empty()) return;
+  put_u32(file_, std::uint32_t(ts_ns / 1'000'000'000));
+  put_u32(file_, std::uint32_t((ts_ns % 1'000'000'000) / 1'000));
+  put_u32(file_, std::uint32_t(frame.size()));
+  put_u32(file_, std::uint32_t(frame.size()));
+  std::fwrite(frame.data(), 1, frame.size(), file_);
+  ++frames_;
+}
+
+void PcapWriter::flush() {
+  if (file_) std::fflush(file_);
+}
+
+}  // namespace rb

@@ -1,0 +1,37 @@
+// Pcap capture of fronthaul traffic.
+//
+// Writes classic libpcap files (LINKTYPE_ETHERNET) that Wireshark's
+// eCPRI / O-RAN FH CUS dissectors open directly - the same workflow as
+// the paper's Figure 2 capture. Attach to any Port via Port::set_tap.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+
+namespace rb {
+
+class PcapWriter {
+ public:
+  /// Opens (truncates) `path`. Check ok() before use.
+  explicit PcapWriter(const std::string& path);
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  /// Append one frame with a virtual timestamp (ns since epoch 0).
+  void write(std::span<const std::uint8_t> frame, std::int64_t ts_ns);
+
+  std::uint64_t frames_written() const { return frames_; }
+  void flush();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace rb

@@ -1,0 +1,120 @@
+#include "iq/bfp.h"
+
+#include "common/bytes.h"
+
+namespace rb {
+namespace {
+
+constexpr bool width_valid(int w) { return w >= 2 && w <= 16; }
+
+/// Largest magnitude across the 24 components of a PRB.
+std::uint32_t max_magnitude(IqConstSpan prb) {
+  std::uint32_t m = 0;
+  for (const auto& s : prb) {
+    std::uint32_t ai = std::uint32_t(s.i < 0 ? -(std::int32_t(s.i)) : s.i);
+    std::uint32_t aq = std::uint32_t(s.q < 0 ? -(std::int32_t(s.q)) : s.q);
+    if (ai > m) m = ai;
+    if (aq > m) m = aq;
+  }
+  return m;
+}
+
+}  // namespace
+
+std::uint8_t bfp_exponent(IqConstSpan prb, int iq_width) {
+  // Smallest exponent e such that every component, arithmetically shifted
+  // right by e, fits in a signed iq_width-bit mantissa.
+  const std::uint32_t limit = (1u << (iq_width - 1)) - 1;
+  std::uint32_t m = max_magnitude(prb);
+  std::uint8_t e = 0;
+  while ((m >> e) > limit && e < 15) ++e;
+  return e;
+}
+
+std::optional<BfpPrb> bfp_compress_prb(IqConstSpan prb, int iq_width,
+                                       std::span<std::uint8_t> out) {
+  if (!width_valid(iq_width) || prb.size() < kScPerPrb) return std::nullopt;
+  const std::size_t need =
+      1 + (std::size_t(2 * kScPerPrb) * unsigned(iq_width) + 7) / 8;
+  if (out.size() < need) return std::nullopt;
+
+  const std::uint8_t e = bfp_exponent(prb.first(kScPerPrb), iq_width);
+  out[0] = e;  // upper nibble reserved (0), lower nibble exponent
+  for (std::size_t k = 1; k < need; ++k) out[k] = 0;
+
+  BitWriter bw(out.subspan(1));
+  for (int k = 0; k < kScPerPrb; ++k) {
+    bw.put(std::int32_t(prb[k].i) >> e, iq_width);
+    bw.put(std::int32_t(prb[k].q) >> e, iq_width);
+  }
+  if (!bw.ok()) return std::nullopt;
+  return BfpPrb{e, need};
+}
+
+std::optional<std::size_t> bfp_decompress_prb(std::span<const std::uint8_t> in,
+                                              int iq_width, IqSpan out) {
+  if (!width_valid(iq_width) || out.size() < kScPerPrb) return std::nullopt;
+  const std::size_t need =
+      1 + (std::size_t(2 * kScPerPrb) * unsigned(iq_width) + 7) / 8;
+  if (in.size() < need) return std::nullopt;
+
+  const std::uint8_t e = std::uint8_t(in[0] & 0x0f);
+  BitReader br(in.subspan(1));
+  for (int k = 0; k < kScPerPrb; ++k) {
+    std::int32_t i = br.get(iq_width) << e;
+    std::int32_t q = br.get(iq_width) << e;
+    out[k] = IqSample{sat16(i), sat16(q)};
+  }
+  if (!br.ok()) return std::nullopt;
+  return need;
+}
+
+std::optional<std::size_t> compress_prbs(IqConstSpan samples,
+                                         const CompConfig& cfg,
+                                         std::span<std::uint8_t> out) {
+  const std::size_t n_prb = samples.size() / kScPerPrb;
+  if (samples.size() % kScPerPrb != 0) return std::nullopt;
+  std::size_t off = 0;
+  if (cfg.method == CompMethod::None) {
+    BufWriter w(out);
+    for (const auto& s : samples) {
+      w.u16(std::uint16_t(s.i));
+      w.u16(std::uint16_t(s.q));
+    }
+    if (!w.ok()) return std::nullopt;
+    return w.written();
+  }
+  for (std::size_t p = 0; p < n_prb; ++p) {
+    auto r = bfp_compress_prb(samples.subspan(p * kScPerPrb, kScPerPrb),
+                              cfg.iq_width, out.subspan(off));
+    if (!r) return std::nullopt;
+    off += r->bytes;
+  }
+  return off;
+}
+
+std::optional<std::size_t> decompress_prbs(std::span<const std::uint8_t> in,
+                                           int n_prb, const CompConfig& cfg,
+                                           IqSpan out) {
+  if (out.size() < std::size_t(n_prb) * kScPerPrb) return std::nullopt;
+  if (cfg.method == CompMethod::None) {
+    BufReader r(in);
+    for (int k = 0; k < n_prb * kScPerPrb; ++k) {
+      out[std::size_t(k)].i = std::int16_t(r.u16());
+      out[std::size_t(k)].q = std::int16_t(r.u16());
+    }
+    if (!r.ok()) return std::nullopt;
+    return std::size_t(n_prb) * kScPerPrb * 4;
+  }
+  std::size_t off = 0;
+  for (int p = 0; p < n_prb; ++p) {
+    auto consumed = bfp_decompress_prb(
+        in.subspan(off), cfg.iq_width,
+        out.subspan(std::size_t(p) * kScPerPrb, kScPerPrb));
+    if (!consumed) return std::nullopt;
+    off += *consumed;
+  }
+  return off;
+}
+
+}  // namespace rb

@@ -1,0 +1,97 @@
+// Block Floating Point (BFP) compression, O-RAN WG4 CUS annex A.1.
+//
+// BFP compresses each PRB independently: one 4-bit exponent shared by the
+// PRB's 24 mantissas (12 I + 12 Q), each truncated to `iq_width` bits.
+// A 1-byte udCompParam header carrying the exponent precedes the packed
+// mantissas on the wire. This is the compression scheme all the RAN stacks
+// studied by the paper use, and the exponent is what Algorithm 1 (PRB
+// monitoring) reads without decompressing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "iq/iq.h"
+
+namespace rb {
+
+/// O-RAN user-data compression methods (udCompHdr.udCompMeth).
+enum class CompMethod : std::uint8_t {
+  None = 0,            // 16-bit fixed point, no compression header
+  BlockFloatingPoint = 1,
+};
+
+/// Compression configuration carried in udCompHdr.
+struct CompConfig {
+  CompMethod method = CompMethod::BlockFloatingPoint;
+  int iq_width = 9;  // mantissa bits per I or Q component (1..16)
+
+  friend bool operator==(const CompConfig&, const CompConfig&) = default;
+
+  /// On-wire bytes for one compressed PRB (header + packed mantissas).
+  std::size_t prb_bytes() const {
+    if (method == CompMethod::None) return std::size_t(kScPerPrb) * 4;
+    return 1 + (std::size_t(2 * kScPerPrb) * unsigned(iq_width) + 7) / 8;
+  }
+
+  std::uint8_t ud_comp_hdr() const {
+    return std::uint8_t(((iq_width & 0xf) << 4) |
+                        (std::uint8_t(method) & 0xf));
+  }
+  static CompConfig from_ud_comp_hdr(std::uint8_t hdr) {
+    CompConfig c;
+    c.iq_width = (hdr >> 4) & 0xf;
+    if (c.iq_width == 0) c.iq_width = 16;
+    c.method = static_cast<CompMethod>(hdr & 0xf);
+    return c;
+  }
+};
+
+/// Result of compressing one PRB.
+struct BfpPrb {
+  std::uint8_t exponent = 0;
+  std::size_t bytes = 0;  // bytes written including the udCompParam header
+};
+
+/// Compute the BFP exponent for a PRB without producing mantissas.
+/// This is the lightweight primitive Algorithm 1 relies on.
+std::uint8_t bfp_exponent(IqConstSpan prb, int iq_width);
+
+/// Compress one PRB (12 samples) into `out`. Layout: 1-byte udCompParam
+/// (low nibble = exponent) followed by ceil(24*w/8) bytes of mantissas,
+/// I before Q per sample, in sub-carrier order.
+/// Returns nullopt if `out` is too small or the width is invalid.
+std::optional<BfpPrb> bfp_compress_prb(IqConstSpan prb, int iq_width,
+                                       std::span<std::uint8_t> out);
+
+/// Decompress one PRB from `in` into 12 samples. Returns consumed bytes,
+/// or nullopt on truncation/invalid width.
+std::optional<std::size_t> bfp_decompress_prb(std::span<const std::uint8_t> in,
+                                              int iq_width, IqSpan out);
+
+/// Read only the exponent of an on-wire compressed PRB (no mantissa work).
+inline std::uint8_t bfp_wire_exponent(std::span<const std::uint8_t> in) {
+  return in.empty() ? 0 : std::uint8_t(in[0] & 0x0f);
+}
+
+/// Exponent threshold separating signal-level PRBs (amplitude ~ 1e4 at
+/// int16 scale) from noise/idle ones, for a given mantissa width: wider
+/// mantissas absorb more amplitude before shifting, so the threshold
+/// shifts down with the width (exp(signal) ~ 15 - W, exp(noise) ~ 11 - W).
+constexpr std::uint8_t energy_exponent_threshold(int iq_width) {
+  const int thr = 12 - iq_width;
+  return std::uint8_t(thr < 1 ? 1 : thr);
+}
+
+/// Compress a run of whole PRBs; returns total bytes or nullopt on error.
+std::optional<std::size_t> compress_prbs(IqConstSpan samples,
+                                         const CompConfig& cfg,
+                                         std::span<std::uint8_t> out);
+
+/// Decompress a run of whole PRBs; `out` must hold n_prb * 12 samples.
+std::optional<std::size_t> decompress_prbs(std::span<const std::uint8_t> in,
+                                           int n_prb, const CompConfig& cfg,
+                                           IqSpan out);
+
+}  // namespace rb

@@ -1,0 +1,66 @@
+// IQ sample value types.
+//
+// On the fronthaul, IQ samples are fixed-point complex numbers; each sample
+// maps to one sub-carrier of the OFDM frequency grid and 12 consecutive
+// samples form one PRB (see the paper's Figure 2).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "common/units.h"
+
+namespace rb {
+
+/// One fixed-point complex sample. Uncompressed wire width is 16+16 bits
+/// (the paper's "32-bit IQ sample").
+struct IqSample {
+  std::int16_t i = 0;
+  std::int16_t q = 0;
+
+  friend bool operator==(const IqSample&, const IqSample&) = default;
+
+  double power() const {
+    return double(i) * double(i) + double(q) * double(q);
+  }
+};
+
+/// A PRB worth of samples (12 sub-carriers).
+using PrbSamples = std::array<IqSample, kScPerPrb>;
+
+/// Mutable / const views over a contiguous run of samples.
+using IqSpan = std::span<IqSample>;
+using IqConstSpan = std::span<const IqSample>;
+
+/// Mean per-sample power of a run of samples (0 for an empty span).
+inline double mean_power(IqConstSpan s) {
+  if (s.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& x : s) acc += x.power();
+  return acc / double(s.size());
+}
+
+/// RMS amplitude of a run of samples.
+inline double rms(IqConstSpan s) { return std::sqrt(mean_power(s)); }
+
+/// Saturating int16 conversion used whenever samples are combined.
+inline std::int16_t sat16(std::int32_t v) {
+  if (v > 32767) return 32767;
+  if (v < -32768) return -32768;
+  return std::int16_t(v);
+}
+
+/// Element-wise saturating sum: dst[k] += src[k]. This is the DAS uplink
+/// combine kernel (paper section 4.1): summing per-sub-carrier signals of
+/// several RUs into one stream.
+inline void accumulate(IqSpan dst, IqConstSpan src) {
+  const std::size_t n = dst.size() < src.size() ? dst.size() : src.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    dst[k].i = sat16(std::int32_t(dst[k].i) + src[k].i);
+    dst[k].q = sat16(std::int32_t(dst[k].q) + src[k].q);
+  }
+}
+
+}  // namespace rb

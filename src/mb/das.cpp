@@ -1,0 +1,129 @@
+#include "mb/das.h"
+
+#include <sstream>
+
+namespace rb {
+
+void DasMiddlebox::on_frame(int in_port, PacketPtr p, FhFrame& frame,
+                            MbContext& ctx) {
+  if (in_port == kNorth) {
+    downlink(std::move(p), frame, ctx);
+  } else {
+    uplink(std::move(p), frame, ctx);
+  }
+}
+
+void DasMiddlebox::downlink(PacketPtr p, FhFrame& frame, MbContext& ctx) {
+  // Replicate to every RU of the distribution set (A2), steering each copy
+  // by rewriting the destination MAC (A1). The original carries the last.
+  for (std::size_t i = 0; i + 1 < cfg_.ru_macs.size(); ++i) {
+    PacketPtr copy = ctx.replicate(*p);
+    if (!copy) continue;
+    ctx.forward(std::move(copy), kSouth, cfg_.ru_macs[i]);
+  }
+  if (!cfg_.ru_macs.empty()) {
+    ctx.forward(std::move(p), kSouth, cfg_.ru_macs.back());
+  } else {
+    ctx.drop(std::move(p));
+  }
+  (void)frame;
+}
+
+void DasMiddlebox::uplink(PacketPtr p, FhFrame& frame, MbContext& ctx) {
+  if (!frame.is_uplane()) {
+    // RUs only originate U-plane; anything else goes to the DU untouched.
+    ctx.forward(std::move(p), kNorth, cfg_.du_mac);
+    return;
+  }
+  const auto& u = frame.uplane();
+  // PRACH streams are forwarded per-RU; the DU's detector is idempotent
+  // and benefits from every RU's capture.
+  if (frame.ecpri.eaxc.du_port != 0) {
+    ctx.forward(std::move(p), kNorth, cfg_.du_mac);
+    return;
+  }
+
+  // Cache until all RUs delivered this (symbol, antenna port) fragment
+  // (A3). Fragmented jumbo payloads split deterministically, so the first
+  // section's start PRB identifies matching fragments across RUs; the
+  // distinct source-MAC count tells when every RU's copy arrived.
+  const std::uint8_t frag_tag =
+      u.sections.empty() ? 0 : std::uint8_t(u.sections[0].start_prb & 0xff);
+  const std::uint64_t key =
+      PacketCache::key(u.at, frame.ecpri.eaxc, /*cplane=*/false, frag_tag);
+  ctx.charge_cache_op();
+  ctx.cache().put(key, CachedPacket{std::move(p), frame, kSouth});
+  auto* entries = ctx.cache().find(key);
+  if (!entries) return;
+  std::size_t distinct_rus = 0;
+  for (const auto& m : cfg_.ru_macs) {
+    for (const auto& e : *entries) {
+      if (e.frame.eth.src == m) {
+        ++distinct_rus;
+        break;
+      }
+    }
+  }
+  if (distinct_rus < cfg_.ru_macs.size()) return;
+
+  // All constituents arrived: element-wise IQ sum per section (A4).
+  auto batch = ctx.cache().take(key);
+  ctx.charge_cache_op();
+  CachedPacket& primary = batch.front();
+  const auto& psec = primary.frame.uplane().sections;
+  bool ok = !batch.empty();
+  for (std::size_t si = 0; ok && si < psec.size(); ++si) {
+    std::vector<std::span<const std::uint8_t>> srcs;
+    srcs.reserve(batch.size());
+    for (auto& e : batch) {
+      const auto& esec = e.frame.uplane().sections;
+      if (si >= esec.size() ||
+          esec[si].num_prb != psec[si].num_prb ||
+          esec[si].start_prb != psec[si].start_prb) {
+        ok = false;
+        break;
+      }
+      srcs.push_back(e.pkt->data().subspan(esec[si].payload_offset,
+                                           esec[si].payload_len));
+    }
+    if (!ok) break;
+    // Merge into the primary packet's payload in place: same geometry,
+    // same compression config, so the byte length is unchanged.
+    auto dst = primary.pkt->raw().subspan(psec[si].payload_offset,
+                                          psec[si].payload_len);
+    const std::size_t written = ctx.merge_payloads(
+        std::span<const std::span<const std::uint8_t>>(srcs.data(),
+                                                       srcs.size()),
+        psec[si].num_prb, psec[si].comp, dst);
+    ok = written == psec[si].payload_len;
+  }
+  if (!ok) {
+    ctx.telemetry().inc("das_merge_failures");
+    for (auto& e : batch) ctx.drop(std::move(e.pkt));
+    return;
+  }
+  ctx.telemetry().inc("das_merges");
+  ctx.forward(std::move(primary.pkt), kNorth, cfg_.du_mac);
+  for (std::size_t i = 1; i < batch.size(); ++i)
+    ctx.drop(std::move(batch[i].pkt));  // A1 drop of the constituents
+}
+
+std::string DasMiddlebox::on_mgmt(const std::string& cmd) {
+  std::istringstream is(cmd);
+  std::string verb;
+  is >> verb;
+  if (verb == "rus") {
+    std::ostringstream os;
+    for (const auto& m : cfg_.ru_macs) os << m.str() << "\n";
+    return os.str();
+  }
+  if (verb == "add-ru") {
+    std::string mac;
+    is >> mac;
+    cfg_.ru_macs.push_back(MacAddr::parse(mac));
+    return "ok";
+  }
+  return "unknown command";
+}
+
+}  // namespace rb

@@ -1,0 +1,48 @@
+// Distributed Antenna System middlebox (paper section 4.1, Figure 5a).
+//
+// Downlink: replicate every C- and U-plane frame from the DU to all DAS
+// RUs (actions A1+A2) - the same cell signal radiates everywhere.
+// Uplink: cache each RU's U-plane per (symbol, antenna port) (action A3);
+// once all RUs delivered, sum their IQ samples element-wise - decompress,
+// accumulate, recompress (action A4) - and forward the single combined
+// stream to the DU (action A1), dropping the constituents.
+#pragma once
+
+#include <vector>
+
+#include "core/middlebox.h"
+
+namespace rb {
+
+struct DasConfig {
+  MacAddr du_mac = MacAddr::du(0);
+  std::vector<MacAddr> ru_macs;  // the DAS distribution set
+};
+
+class DasMiddlebox final : public MiddleboxApp {
+ public:
+  /// Port convention: index 0 = north (DU side), 1 = south (RU side).
+  static constexpr int kNorth = 0;
+  static constexpr int kSouth = 1;
+
+  explicit DasMiddlebox(DasConfig cfg) : cfg_(std::move(cfg)) {}
+
+  std::string name() const override { return "das"; }
+  void on_frame(int in_port, PacketPtr p, FhFrame& frame,
+                MbContext& ctx) override;
+  /// DAS does IQ (de)compression: userspace under the XDP split (Table 1).
+  ProcessingLocus locus(const FhFrame&) const override {
+    return ProcessingLocus::Userspace;
+  }
+  std::string on_mgmt(const std::string& cmd) override;
+
+  const DasConfig& config() const { return cfg_; }
+
+ private:
+  void downlink(PacketPtr p, FhFrame& frame, MbContext& ctx);
+  void uplink(PacketPtr p, FhFrame& frame, MbContext& ctx);
+
+  DasConfig cfg_;
+};
+
+}  // namespace rb

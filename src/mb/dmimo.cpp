@@ -1,0 +1,170 @@
+#include "mb/dmimo.h"
+
+#include <sstream>
+
+namespace rb {
+
+DmimoMiddlebox::DmimoMiddlebox(DmimoConfig cfg) : cfg_(std::move(cfg)) {
+  for (const auto& ru : cfg_.rus) {
+    layer_base_.push_back(total_antennas_);
+    total_antennas_ += ru.n_antennas;
+  }
+}
+
+DmimoMiddlebox::PortMap DmimoMiddlebox::map_layer(int cell_layer) const {
+  for (std::size_t i = 0; i < cfg_.rus.size(); ++i) {
+    const int base = layer_base_[i];
+    if (cell_layer >= base && cell_layer < base + cfg_.rus[i].n_antennas)
+      return {int(i), cell_layer - base};
+  }
+  return {};
+}
+
+bool DmimoMiddlebox::is_ssb_symbol(const SlotPoint& at) const {
+  // SSB occasions repeat every period; our cells place them in the first
+  // slot of the period (slot and subframe both 0 modulo the period).
+  const int spsf = slots_per_subframe(Scs::kHz30);
+  const std::int64_t abs_slot =
+      (std::int64_t(at.frame) * 10 + at.subframe) * spsf + at.slot;
+  if (abs_slot % cfg_.ssb_period_slots != 0) return false;
+  return at.symbol >= cfg_.ssb_first_symbol &&
+         at.symbol < cfg_.ssb_first_symbol + cfg_.ssb_n_symbols;
+}
+
+void DmimoMiddlebox::on_frame(int in_port, PacketPtr p, FhFrame& frame,
+                              MbContext& ctx) {
+  if (in_port == kNorth)
+    downlink(std::move(p), frame, ctx);
+  else
+    uplink(std::move(p), frame, ctx);
+}
+
+void DmimoMiddlebox::downlink(PacketPtr p, FhFrame& frame, MbContext& ctx) {
+  const EaxcId eaxc = frame.ecpri.eaxc;
+
+  // PRACH control: replicate to every RU so whichever radio is nearest a
+  // joining UE captures its preamble.
+  if (eaxc.du_port != 0) {
+    for (std::size_t i = 0; i + 1 < cfg_.rus.size(); ++i) {
+      PacketPtr copy = ctx.replicate(*p);
+      if (copy) ctx.forward(std::move(copy), kSouth, cfg_.rus[i].mac);
+    }
+    if (!cfg_.rus.empty())
+      ctx.forward(std::move(p), kSouth, cfg_.rus.back().mac);
+    else
+      ctx.drop(std::move(p));
+    return;
+  }
+
+  const PortMap m = map_layer(eaxc.ru_port);
+  if (m.ru_index < 0) {
+    ctx.telemetry().inc("dmimo_unmapped_layer");
+    ctx.drop(std::move(p));
+    return;
+  }
+
+  // SSB copy: the primary antenna's U-plane carries the SSB; graft its
+  // PRBs into the packet that becomes antenna 0 of every other RU.
+  if (cfg_.copy_ssb && frame.is_uplane() &&
+      is_ssb_symbol(frame.uplane().at)) {
+    const auto& u = frame.uplane();
+    if (eaxc.ru_port == 0) {
+      // Cache the primary antenna's SSB-symbol packet (A3).
+      ctx.charge_cache_op();
+      ctx.cache().put(PacketCache::key(u.at, eaxc, false, /*aux=*/0x3),
+                      CachedPacket{ctx.replicate(*p), frame, kNorth});
+    } else if (m.local_port == 0) {
+      // This packet becomes some RU's antenna 0: graft the SSB window.
+      // Both frames carry a section covering the SSB grid position (the
+      // non-primary ports transport it zero-filled for this purpose).
+      auto find_ssb_section = [this](const UPlaneMsg& msg) -> const USection* {
+        for (const auto& s : msg.sections) {
+          if (cfg_.ssb_start_prb >= s.start_prb &&
+              cfg_.ssb_start_prb + cfg_.ssb_n_prb <= s.start_prb + s.num_prb)
+            return &s;
+        }
+        return nullptr;
+      };
+      EaxcId primary{0, 0, 0, 0};
+      const auto& cached = ctx.cache().peek(
+          PacketCache::key(u.at, primary, false, /*aux=*/0x3));
+      const USection* src_sec =
+          (!cached.empty() && cached.front().pkt)
+              ? find_ssb_section(cached.front().frame.uplane())
+              : nullptr;
+      const USection* dst_sec = find_ssb_section(u);
+      if (src_sec && dst_sec) {
+        ctx.copy_prbs(
+            cached.front().pkt->data().subspan(src_sec->payload_offset,
+                                               src_sec->payload_len),
+            cfg_.ssb_start_prb - src_sec->start_prb,
+            p->raw().subspan(dst_sec->payload_offset, dst_sec->payload_len),
+            cfg_.ssb_start_prb - dst_sec->start_prb, cfg_.ssb_n_prb,
+            dst_sec->comp);
+        ctx.telemetry().inc("dmimo_ssb_copies");
+      } else {
+        ctx.telemetry().inc("dmimo_ssb_copy_misses");
+      }
+    }
+  }
+
+  // Remap the antenna port to the RU-local numbering (A4) and steer (A1).
+  if (m.local_port != eaxc.ru_port) {
+    EaxcId remapped = eaxc;
+    remapped.ru_port = std::uint8_t(m.local_port);
+    ctx.rewrite_eaxc(*p, remapped);
+    ctx.telemetry().inc("dmimo_dl_remaps");
+  }
+  ctx.forward(std::move(p), kSouth, cfg_.rus[std::size_t(m.ru_index)].mac);
+}
+
+void DmimoMiddlebox::uplink(PacketPtr p, FhFrame& frame, MbContext& ctx) {
+  // Identify the source RU and remap its local port to the cell layer.
+  const MacAddr src = frame.eth.src;
+  int ru_index = -1;
+  for (std::size_t i = 0; i < cfg_.rus.size(); ++i) {
+    if (cfg_.rus[i].mac == src) {
+      ru_index = int(i);
+      break;
+    }
+  }
+  if (ru_index < 0) {
+    ctx.telemetry().inc("dmimo_unknown_ru");
+    ctx.drop(std::move(p));
+    return;
+  }
+  const EaxcId eaxc = frame.ecpri.eaxc;
+  if (eaxc.du_port == 0) {
+    const int cell_layer = layer_base_[std::size_t(ru_index)] + eaxc.ru_port;
+    if (cell_layer != eaxc.ru_port) {
+      EaxcId remapped = eaxc;
+      remapped.ru_port = std::uint8_t(cell_layer);
+      ctx.rewrite_eaxc(*p, remapped);
+      ctx.telemetry().inc("dmimo_ul_remaps");
+    }
+  }
+  ctx.forward(std::move(p), kNorth, cfg_.du_mac);
+}
+
+std::string DmimoMiddlebox::on_mgmt(const std::string& cmd) {
+  std::istringstream is(cmd);
+  std::string verb;
+  is >> verb;
+  if (verb == "layout") {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < cfg_.rus.size(); ++i)
+      os << "ru" << i << " " << cfg_.rus[i].mac.str() << " layers "
+         << layer_base_[i] << ".."
+         << layer_base_[i] + cfg_.rus[i].n_antennas - 1 << "\n";
+    return os.str();
+  }
+  if (verb == "ssb-copy") {
+    std::string v;
+    is >> v;
+    cfg_.copy_ssb = v == "on";
+    return "ok";
+  }
+  return "unknown command";
+}
+
+}  // namespace rb

@@ -1,0 +1,71 @@
+// Distributed MIMO middlebox (paper section 4.2, Figure 5b).
+//
+// Combines several small commodity RUs into one virtual RU with the sum of
+// their antennas. The DU believes it drives a single N-antenna RU; each
+// physical RU believes it talks to a DU with exactly its own antenna
+// count. Per frame, the middlebox remaps the eAxC antenna-port id (A4)
+// and redirects to the owning RU (A1). It also copies the SSB PRBs from
+// the primary antenna's U-plane packets into the packets of the other
+// RUs' first antennas (A4), so coverage does not collapse to the primary
+// RU's neighbourhood.
+#pragma once
+
+#include <vector>
+
+#include "core/middlebox.h"
+
+namespace rb {
+
+struct DmimoRu {
+  MacAddr mac{};
+  int n_antennas = 1;
+};
+
+struct DmimoConfig {
+  MacAddr du_mac = MacAddr::du(0);
+  std::vector<DmimoRu> rus;  // cell layers are assigned in order
+  // SSB window of the cell (for the SSB copy) and its occasion timing.
+  int ssb_start_prb = 0;
+  int ssb_n_prb = 20;
+  int ssb_period_slots = 20;
+  int ssb_first_symbol = 2;
+  int ssb_n_symbols = 4;
+  bool copy_ssb = true;  // disable to demonstrate the detach failure mode
+};
+
+class DmimoMiddlebox final : public MiddleboxApp {
+ public:
+  static constexpr int kNorth = 0;
+  static constexpr int kSouth = 1;
+
+  explicit DmimoMiddlebox(DmimoConfig cfg);
+
+  std::string name() const override { return "dmimo"; }
+  void on_frame(int in_port, PacketPtr p, FhFrame& frame,
+                MbContext& ctx) override;
+  /// Header remaps run in the kernel XDP program (Table 1).
+  ProcessingLocus locus(const FhFrame&) const override {
+    return ProcessingLocus::Kernel;
+  }
+  std::string on_mgmt(const std::string& cmd) override;
+
+  /// Total antennas of the virtual RU.
+  int total_antennas() const { return total_antennas_; }
+  /// Which RU owns a cell layer, and the local port it maps to.
+  struct PortMap {
+    int ru_index = -1;
+    int local_port = 0;
+  };
+  PortMap map_layer(int cell_layer) const;
+
+ private:
+  void downlink(PacketPtr p, FhFrame& frame, MbContext& ctx);
+  void uplink(PacketPtr p, FhFrame& frame, MbContext& ctx);
+  bool is_ssb_symbol(const SlotPoint& at) const;
+
+  DmimoConfig cfg_;
+  int total_antennas_ = 0;
+  std::vector<int> layer_base_;  // first cell layer of each RU
+};
+
+}  // namespace rb

@@ -1,0 +1,67 @@
+#include "mb/failover.h"
+
+#include <sstream>
+
+namespace rb {
+
+void FailoverMiddlebox::on_frame(int in_port, PacketPtr p, FhFrame& frame,
+                                 MbContext& ctx) {
+  (void)frame;
+  if (in_port == kSouth) {
+    // Uplink: steer to whichever DU is currently active (A1).
+    const MacAddr dst =
+        active_ == kPrimary ? cfg_.primary_du_mac : cfg_.standby_du_mac;
+    ctx.forward(std::move(p), active_, dst);
+    return;
+  }
+  last_seen_slot_[in_port] = current_slot_;
+  if (in_port != active_) {
+    // Inactive DU's downlink is suppressed so the RU sees exactly one
+    // master (the standby keeps "transmitting" into the void).
+    ctx.telemetry().inc("failover_suppressed");
+    ctx.drop(std::move(p));
+    return;
+  }
+  ctx.forward(std::move(p), kSouth, cfg_.ru_mac);
+}
+
+void FailoverMiddlebox::on_slot(std::int64_t slot, MbContext& ctx) {
+  current_slot_ = slot;
+  const std::int64_t seen = last_seen_slot_[active_];
+  if (seen >= 0 && slot - seen > cfg_.liveness_slots) {
+    // Heartbeat lost on the active side: switch over.
+    const int dead = active_;
+    active_ = active_ == kPrimary ? kStandby : kPrimary;
+    // Only count it as a failover if the new side is actually alive.
+    if (last_seen_slot_[active_] >= 0 &&
+        slot - last_seen_slot_[active_] <= cfg_.liveness_slots) {
+      ++failovers_;
+      ctx.telemetry().inc("failover_switchovers");
+      ctx.telemetry().set_gauge("failover_active", active_);
+    } else {
+      active_ = dead;  // nobody alive; stay put
+    }
+  } else if (cfg_.failback && active_ == kStandby &&
+             last_seen_slot_[kPrimary] >= 0 &&
+             slot - last_seen_slot_[kPrimary] <= 1) {
+    // Primary is healthy again.
+    active_ = kPrimary;
+    ctx.telemetry().inc("failover_failbacks");
+    ctx.telemetry().set_gauge("failover_active", active_);
+  }
+}
+
+std::string FailoverMiddlebox::on_mgmt(const std::string& cmd) {
+  std::istringstream is(cmd);
+  std::string verb;
+  is >> verb;
+  if (verb == "active")
+    return active_ == kPrimary ? "primary" : "standby";
+  if (verb == "switch") {
+    active_ = active_ == kPrimary ? kStandby : kPrimary;
+    return "ok";
+  }
+  return "unknown command";
+}
+
+}  // namespace rb

@@ -1,0 +1,57 @@
+// RAN resilience middlebox (paper section 8.1, "RAN resilience").
+//
+// Watches the fronthaul heartbeat of the active DU (every live DU emits
+// C-plane at least once per slot window) and, when the inter-packet gap
+// exceeds a threshold, re-routes the RU's traffic to a standby DU within
+// a few slots - without touching RU or DU software, in the spirit of
+// Atlas/Slingshot but realized purely as a fronthaul middlebox.
+//
+// Actions used: A1 (redirect/drop - steering between DUs) plus passive
+// inspection to derive liveness. The standby DU is assumed warm (running
+// the same cell configuration, state replication out of scope).
+#pragma once
+
+#include "core/middlebox.h"
+
+namespace rb {
+
+struct FailoverConfig {
+  MacAddr ru_mac{};
+  MacAddr primary_du_mac{};
+  MacAddr standby_du_mac{};
+  /// Declare the active DU dead after this many slots without traffic.
+  int liveness_slots = 3;
+  /// Automatically return to the primary once it emits again.
+  bool failback = true;
+};
+
+class FailoverMiddlebox final : public MiddleboxApp {
+ public:
+  /// Port convention: 0 = south (RU), 1 = primary DU, 2 = standby DU.
+  static constexpr int kSouth = 0;
+  static constexpr int kPrimary = 1;
+  static constexpr int kStandby = 2;
+
+  explicit FailoverMiddlebox(FailoverConfig cfg) : cfg_(std::move(cfg)) {}
+
+  std::string name() const override { return "failover"; }
+  void on_frame(int in_port, PacketPtr p, FhFrame& frame,
+                MbContext& ctx) override;
+  void on_slot(std::int64_t slot, MbContext& ctx) override;
+  ProcessingLocus locus(const FhFrame&) const override {
+    return ProcessingLocus::Kernel;  // pure steering
+  }
+  std::string on_mgmt(const std::string& cmd) override;
+
+  int active_port() const { return active_; }
+  std::int64_t failovers() const { return failovers_; }
+
+ private:
+  FailoverConfig cfg_;
+  int active_ = kPrimary;
+  std::int64_t last_seen_slot_[3] = {-1, -1, -1};
+  std::int64_t failovers_ = 0;
+  std::int64_t current_slot_ = 0;
+};
+
+}  // namespace rb

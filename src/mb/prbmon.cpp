@@ -1,0 +1,77 @@
+#include "mb/prbmon.h"
+
+#include <sstream>
+
+namespace rb {
+
+void PrbMonitorMiddlebox::on_frame(int in_port, PacketPtr p, FhFrame& frame,
+                                   MbContext& ctx) {
+  if (frame.is_uplane() && frame.ecpri.eaxc.du_port == 0 &&
+      frame.ecpri.eaxc.ru_port == 0) {
+    // Algorithm 1 over antenna port 0 (one spatial sample of the grid).
+    const auto& u = frame.uplane();
+    const bool dl = u.direction == Direction::Downlink;
+    const std::uint8_t thr = dl ? cfg_.thr_dl : cfg_.thr_ul;
+    // PRBs outside any section were never transported: idle by definition.
+    int utilized = 0;
+    for (const auto& sec : u.sections) {
+      for (int prb = 0; prb < sec.num_prb; ++prb) {
+        const std::uint8_t e = ctx.prb_exponent(*p, sec, prb);
+        utilized += (e > thr) ? 1 : 0;
+      }
+    }
+    if (dl) {
+      dl_prb_acc_ += double(utilized) / double(cfg_.n_prb);
+      ++current_.dl_symbols;
+    } else {
+      ul_prb_acc_ += double(utilized) / double(cfg_.n_prb);
+      ++current_.ul_symbols;
+    }
+  }
+  // Transparent forwarding: north <-> south, addressing untouched.
+  ctx.forward(std::move(p), in_port == kNorth ? kSouth : kNorth);
+}
+
+void PrbMonitorMiddlebox::on_slot(std::int64_t slot, MbContext& ctx) {
+  // Close the previous slot's estimate and publish it.
+  if (current_.dl_symbols > 0 || current_.ul_symbols > 0) {
+    current_.dl_util =
+        current_.dl_symbols ? dl_prb_acc_ / current_.dl_symbols : 0.0;
+    current_.ul_util =
+        current_.ul_symbols ? ul_prb_acc_ / current_.ul_symbols : 0.0;
+    estimates_.push_back(current_);
+    while (estimates_.size() > kMaxWindow) estimates_.pop_front();
+    ctx.telemetry().publish(
+        {current_.slot, "prb_util_dl", current_.dl_util});
+    ctx.telemetry().publish(
+        {current_.slot, "prb_util_ul", current_.ul_util});
+    ctx.telemetry().set_gauge("prb_util_dl", current_.dl_util);
+    ctx.telemetry().set_gauge("prb_util_ul", current_.ul_util);
+  }
+  current_ = PrbUtilEstimate{};
+  current_.slot = slot;
+  dl_prb_acc_ = ul_prb_acc_ = 0.0;
+}
+
+std::string PrbMonitorMiddlebox::on_mgmt(const std::string& cmd) {
+  std::istringstream is(cmd);
+  std::string verb;
+  is >> verb;
+  if (verb == "thresholds") {
+    std::ostringstream os;
+    os << "thr_dl=" << int(cfg_.thr_dl) << " thr_ul=" << int(cfg_.thr_ul);
+    return os.str();
+  }
+  if (verb == "set-thr") {
+    std::string dir;
+    int v = 0;
+    is >> dir >> v;
+    if (dir == "dl") cfg_.thr_dl = std::uint8_t(v);
+    else if (dir == "ul") cfg_.thr_ul = std::uint8_t(v);
+    else return "unknown direction";
+    return "ok";
+  }
+  return "unknown command";
+}
+
+}  // namespace rb

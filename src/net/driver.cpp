@@ -1,0 +1,6 @@
+// driver.h is header-only; see packet.cpp for pool implementation.
+#include "net/driver.h"
+
+namespace rb {
+// Intentionally empty.
+}  // namespace rb

@@ -1,0 +1,129 @@
+// Packet-driver models: the DPDK-like poll-mode driver and the XDP-like
+// interrupt-driven driver (paper section 5 and Figure 7).
+//
+// Real I/O is simulated, but the *cost structure* is modeled explicitly so
+// the paper's CPU-utilization and placement trade-offs (Figure 16, Table 1)
+// are reproducible:
+//  * PollDriver pins a core: busy 100% of wall time regardless of traffic.
+//  * IrqDriver charges per-interrupt and per-packet costs, plus an AF_XDP
+//    context-switch charge whenever a packet must be punted from the
+//    kernel XDP program to the userspace component.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/port.h"
+
+namespace rb {
+
+/// Cost constants for the driver models, in nanoseconds. Defaults are in
+/// the range reported by the AF_XDP/DPDK literature the paper cites.
+struct DriverCosts {
+  std::int64_t irq_overhead_ns = 1'500;      // interrupt entry/exit
+  std::int64_t kernel_rx_ns = 600;           // per-packet kernel path
+  std::int64_t kernel_rx_per_kb_ns = 600;    // jumbo-frame memory overhead
+                                             // (multi-buffer XDP, paper S5)
+  std::int64_t afxdp_redirect_ns = 1'800;    // kernel->userspace punt
+  std::int64_t poll_rx_ns = 60;              // per-packet poll-mode cost
+};
+
+/// Where a packet's processing runs under the XDP implementation; the
+/// middlebox declares this per packet class (Table 1 of the paper).
+enum class ProcessingLocus : std::uint8_t {
+  Kernel,     // handled entirely in the XDP program
+  Userspace,  // punted over AF_XDP to the userspace component
+};
+
+/// Accumulates CPU busy-time against the simulation's virtual wall clock.
+class CpuMeter {
+ public:
+  void add_busy(std::int64_t ns) { busy_ns_ += ns; }
+  std::int64_t busy_ns() const { return busy_ns_; }
+  void reset() { busy_ns_ = 0; }
+
+ private:
+  std::int64_t busy_ns_ = 0;
+};
+
+/// Common driver interface over one port.
+class Driver {
+ public:
+  explicit Driver(Port& port, DriverCosts costs = {})
+      : port_(&port), costs_(costs) {}
+  virtual ~Driver() = default;
+
+  /// Fetch pending packets; charges rx costs to the meter.
+  std::size_t rx_burst(std::vector<PacketPtr>& out, std::size_t max = 64) {
+    const std::size_t before = out.size();
+    std::size_t n = port_->rx_burst(out, max);
+    std::size_t bytes = 0;
+    for (std::size_t i = before; i < out.size(); ++i) bytes += out[i]->len();
+    charge_rx(n, bytes);
+    return n;
+  }
+
+  bool tx(PacketPtr p) { return port_->send(std::move(p)); }
+  Port& port() { return *port_; }
+
+  /// Charge handler work. `locus` matters only for IrqDriver (AF_XDP punt).
+  virtual void charge_handler(std::int64_t ns, ProcessingLocus locus) = 0;
+
+  /// Fraction of one core consumed over `wall_ns` of virtual time [0, 1].
+  virtual double utilization(std::int64_t wall_ns) const = 0;
+
+  CpuMeter& meter() { return meter_; }
+  const DriverCosts& costs() const { return costs_; }
+
+ protected:
+  virtual void charge_rx(std::size_t n_packets, std::size_t bytes) = 0;
+
+  Port* port_;
+  DriverCosts costs_;
+  CpuMeter meter_;
+};
+
+/// DPDK-like poll-mode driver: the core spins; utilization is 100% by
+/// construction, but per-packet latency cost is the lowest.
+class PollDriver final : public Driver {
+ public:
+  using Driver::Driver;
+
+  void charge_handler(std::int64_t ns, ProcessingLocus) override {
+    meter_.add_busy(ns);
+  }
+  double utilization(std::int64_t) const override { return 1.0; }
+
+ protected:
+  void charge_rx(std::size_t n, std::size_t) override {
+    meter_.add_busy(std::int64_t(n) * costs_.poll_rx_ns);
+  }
+};
+
+/// XDP-like interrupt-driven driver: CPU cost scales with traffic; punting
+/// to userspace over AF_XDP pays a context-switch charge per packet.
+class IrqDriver final : public Driver {
+ public:
+  using Driver::Driver;
+
+  void charge_handler(std::int64_t ns, ProcessingLocus locus) override {
+    if (locus == ProcessingLocus::Userspace)
+      meter_.add_busy(costs_.afxdp_redirect_ns);
+    meter_.add_busy(ns);
+  }
+  double utilization(std::int64_t wall_ns) const override {
+    if (wall_ns <= 0) return 0.0;
+    double u = double(meter_.busy_ns()) / double(wall_ns);
+    return u > 1.0 ? 1.0 : u;
+  }
+
+ protected:
+  void charge_rx(std::size_t n, std::size_t bytes) override {
+    if (n == 0) return;
+    meter_.add_busy(costs_.irq_overhead_ns +
+                    std::int64_t(n) * costs_.kernel_rx_ns +
+                    std::int64_t(bytes) * costs_.kernel_rx_per_kb_ns / 1024);
+  }
+};
+
+}  // namespace rb

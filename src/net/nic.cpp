@@ -1,0 +1,42 @@
+#include "net/nic.h"
+
+#include <stdexcept>
+
+namespace rb {
+
+Nic::Nic(std::string name, std::size_t max_vfs)
+    : name_(std::move(name)), max_vfs_(max_vfs), eswitch_(name_ + ".esw") {
+  // The embedded switch's uplink doubles as the NIC's wire-side port.
+  wire_sw_port_ = &eswitch_.add_port("uplink");
+}
+
+Port& Nic::create_vf(const std::string& name) {
+  if (vfs_.size() >= max_vfs_)
+    throw std::length_error(name_ + ": VF limit reached");
+  Vf vf;
+  vf.host_port = std::make_unique<Port>(name_ + "." + name);
+  vf.sw_port = &eswitch_.add_port(name);
+  // VF <-> embedded switch hop models the PCIe crossing.
+  Port::connect(*vf.host_port, *vf.sw_port, /*latency_ns=*/600);
+  vfs_.push_back(std::move(vf));
+  return *vfs_.back().host_port;
+}
+
+void Nic::steer(const MacAddr& mac, const Port& vf_host_port) {
+  // Find the switch-side port paired with this host port and pin the MAC.
+  for (auto& vf : vfs_) {
+    if (vf.host_port.get() == &vf_host_port) {
+      eswitch_.add_static_entry(mac, *vf.sw_port);
+      return;
+    }
+  }
+}
+
+std::uint64_t Nic::pcie_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& vf : vfs_)
+    total += vf.host_port->stats().tx_bytes + vf.host_port->stats().rx_bytes;
+  return total;
+}
+
+}  // namespace rb

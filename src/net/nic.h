@@ -1,0 +1,56 @@
+// SR-IOV NIC model: a physical port plus virtual functions bridged by an
+// embedded switch (paper Figure 8).
+//
+// Each middlebox in a chain gets one VF; traffic between chained
+// middleboxes crosses the embedded switch, paying a per-hop latency that
+// stands in for the PCIe round trip the paper identifies as the chaining
+// bottleneck.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/switch.h"
+
+namespace rb {
+
+class Nic {
+ public:
+  /// `max_vfs` mirrors real NIC limits (several tens per port).
+  explicit Nic(std::string name = "nic", std::size_t max_vfs = 64);
+
+  /// The wire-side port: connect the fabric (or another device's port)
+  /// directly to this. It is the embedded switch's uplink.
+  Port& wire_port() { return *wire_sw_port_; }
+
+  /// Create a virtual function; returns the host-facing port handed to a
+  /// middlebox/driver. Throws std::length_error past max_vfs.
+  Port& create_vf(const std::string& name);
+
+  /// Pin a MAC to a VF in the embedded switch so traffic for that MAC is
+  /// steered to it instead of flooded.
+  void steer(const MacAddr& mac, const Port& vf_host_port);
+
+  std::size_t num_vfs() const { return vfs_.size(); }
+  EmbeddedSwitch& eswitch() { return eswitch_; }
+
+  /// Cumulative bytes that crossed the embedded switch - the PCIe pressure
+  /// metric for chaining scalability analysis.
+  std::uint64_t pcie_bytes() const;
+
+ private:
+  struct Vf {
+    std::unique_ptr<Port> host_port;  // given to the driver/middlebox
+    Port* sw_port = nullptr;          // embedded switch side
+  };
+
+  std::string name_;
+  std::size_t max_vfs_;
+  EmbeddedSwitch eswitch_;
+  Port* wire_sw_port_ = nullptr;
+  std::vector<Vf> vfs_;
+};
+
+}  // namespace rb

@@ -1,0 +1,53 @@
+#include "net/packet.h"
+
+#include <cstring>
+
+namespace rb {
+
+void PacketDeleter::operator()(Packet* p) const {
+  if (p && p->pool_) p->pool_->release(p);
+}
+
+PacketPool::PacketPool(std::size_t capacity) : capacity_(capacity) {
+  storage_.reserve(capacity);
+  free_.reserve(capacity);
+  for (std::size_t i = 0; i < capacity; ++i) {
+    storage_.push_back(std::make_unique<Packet>());
+    storage_.back()->pool_ = this;
+    free_.push_back(storage_.back().get());
+  }
+}
+
+PacketPool::~PacketPool() = default;
+
+PacketPtr PacketPool::alloc() {
+  if (free_.empty()) {
+    ++alloc_failures_;
+    return nullptr;
+  }
+  Packet* p = free_.back();
+  free_.pop_back();
+  p->len_ = 0;
+  p->rx_time_ns = 0;
+  p->ingress_port = 0;
+  return PacketPtr(p);
+}
+
+PacketPtr PacketPool::clone(const Packet& src) {
+  PacketPtr p = alloc();
+  if (!p) return nullptr;
+  std::memcpy(p->buf_.data(), src.buf_.data(), src.len_);
+  p->len_ = src.len_;
+  p->rx_time_ns = src.rx_time_ns;
+  p->ingress_port = src.ingress_port;
+  return p;
+}
+
+void PacketPool::release(Packet* p) { free_.push_back(p); }
+
+PacketPool& PacketPool::default_pool() {
+  static PacketPool pool(16384);
+  return pool;
+}
+
+}  // namespace rb

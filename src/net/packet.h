@@ -1,0 +1,88 @@
+// Packet buffers and pools.
+//
+// Mirrors the mbuf discipline of a DPDK datapath: fixed-capacity buffers
+// drawn from a pre-allocated pool, returned on release, never allocated on
+// the hot path. Capacity covers jumbo fronthaul frames (100 MHz cells
+// generate > 7 KB U-plane frames, paper section 5).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace rb {
+
+/// Jumbo-frame capacity: 9000-byte MTU plus L2 headers.
+inline constexpr std::size_t kPacketCapacity = 9216;
+
+class PacketPool;
+
+/// One network packet. Data lives inline; `len` is the frame length.
+class Packet {
+ public:
+  std::span<std::uint8_t> data() { return {buf_.data(), len_}; }
+  std::span<const std::uint8_t> data() const { return {buf_.data(), len_}; }
+  std::span<std::uint8_t> raw() { return {buf_.data(), buf_.size()}; }
+
+  std::size_t len() const { return len_; }
+  /// Set the frame length after writing into raw(). Clamped to capacity.
+  void set_len(std::size_t n) {
+    len_ = n > buf_.size() ? buf_.size() : n;
+  }
+
+  /// Virtual receive timestamp (ns since simulation start); set by ports.
+  std::int64_t rx_time_ns = 0;
+  /// Ingress port identifier for debugging/telemetry.
+  std::uint16_t ingress_port = 0;
+
+ private:
+  friend class PacketPool;
+  friend struct PacketDeleter;
+  std::vector<std::uint8_t> buf_ = std::vector<std::uint8_t>(kPacketCapacity);
+  std::size_t len_ = 0;
+  PacketPool* pool_ = nullptr;
+};
+
+struct PacketDeleter {
+  void operator()(Packet* p) const;
+};
+
+/// Owning handle; returning to the pool happens on destruction.
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+/// Fixed-size pool of packets. alloc() returns nullptr when exhausted,
+/// which the ports count as drops - the same back-pressure behaviour an
+/// mbuf pool exhibits under overload.
+class PacketPool {
+ public:
+  explicit PacketPool(std::size_t capacity = 4096);
+  ~PacketPool();
+
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  /// Get a fresh packet (len 0, metadata cleared); nullptr if exhausted.
+  PacketPtr alloc();
+
+  /// Deep-copy a packet (the A2 replication primitive).
+  PacketPtr clone(const Packet& src);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t in_use() const { return capacity_ - free_.size(); }
+  std::uint64_t alloc_failures() const { return alloc_failures_; }
+
+  /// Process-wide default pool used when callers do not wire their own.
+  static PacketPool& default_pool();
+
+ private:
+  friend struct PacketDeleter;
+  void release(Packet* p);
+
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Packet>> storage_;
+  std::vector<Packet*> free_;
+  std::uint64_t alloc_failures_ = 0;
+};
+
+}  // namespace rb

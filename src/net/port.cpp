@@ -1,0 +1,48 @@
+#include "net/port.h"
+
+namespace rb {
+
+void Port::connect(Port& a, Port& b, std::int64_t latency_ns) {
+  a.peer_ = &b;
+  b.peer_ = &a;
+  a.link_latency_ns_ = latency_ns;
+  b.link_latency_ns_ = latency_ns;
+}
+
+bool Port::send(PacketPtr p) {
+  if (!p) return false;
+  if (!peer_ || !link_up_ || !peer_->link_up_) return false;  // dropped
+  stats_.tx_packets++;
+  stats_.tx_bytes += p->len();
+  p->rx_time_ns += link_latency_ns_;
+  p->ingress_port = peer_->id_;
+  peer_->deliver(std::move(p));
+  return true;
+}
+
+void Port::deliver(PacketPtr p) {
+  stats_.rx_packets++;
+  stats_.rx_bytes += p->len();
+  if (tap_) tap_(*p);
+  if (rx_handler_) {
+    rx_handler_(std::move(p));
+    return;
+  }
+  if (rx_queue_.size() >= rx_queue_cap_) {
+    stats_.rx_dropped++;
+    return;  // PacketPtr destructor returns the buffer to the pool
+  }
+  rx_queue_.push_back(std::move(p));
+}
+
+std::size_t Port::rx_burst(std::vector<PacketPtr>& out, std::size_t max) {
+  std::size_t n = 0;
+  while (n < max && !rx_queue_.empty()) {
+    out.push_back(std::move(rx_queue_.front()));
+    rx_queue_.pop_front();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace rb

@@ -1,0 +1,88 @@
+// Ports and links: the simulated Ethernet fabric's endpoints.
+//
+// The simulation is single-threaded and event-synchronous: Port::send()
+// pushes a packet across the attached link, adding the link's propagation
+// latency to the packet timestamp, into the peer's bounded RX queue (or a
+// sink callback for inline forwarding elements like the switch).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "net/packet.h"
+
+namespace rb {
+
+struct PortStats {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t rx_dropped = 0;  // RX queue overflow
+};
+
+/// A network port. Connect two ports with Port::connect(); a port either
+/// queues received packets (default) or hands them to an rx handler (used
+/// by switches to forward inline).
+class Port {
+ public:
+  explicit Port(std::string name = "port", std::size_t rx_queue_cap = 1024)
+      : name_(std::move(name)), rx_queue_cap_(rx_queue_cap) {}
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  const std::string& name() const { return name_; }
+  const PortStats& stats() const { return stats_; }
+  std::uint16_t id() const { return id_; }
+  void set_id(std::uint16_t id) { id_ = id; }
+
+  /// Wire two ports together with a symmetric propagation latency.
+  static void connect(Port& a, Port& b, std::int64_t latency_ns = 1000);
+
+  bool connected() const { return peer_ != nullptr; }
+
+  /// Transmit a packet to the peer. Consumes the packet. Returns false
+  /// (and drops) if the port is unwired or the peer queue is full.
+  bool send(PacketPtr p);
+
+  /// Pop up to `max` received packets into `out`. Returns count.
+  std::size_t rx_burst(std::vector<PacketPtr>& out, std::size_t max = 64);
+
+  /// Number of packets waiting in the RX queue.
+  std::size_t rx_pending() const { return rx_queue_.size(); }
+
+  /// Install an inline receive handler (switch forwarding). When set, the
+  /// RX queue is bypassed.
+  void set_rx_handler(std::function<void(PacketPtr)> h) {
+    rx_handler_ = std::move(h);
+  }
+
+  /// Simulate link failure/recovery (used by failure-injection tests).
+  void set_link_up(bool up) { link_up_ = up; }
+  bool link_up() const { return link_up_; }
+
+  /// Passive tap on received frames (e.g. a PcapWriter); called before
+  /// queueing/handling, never takes ownership.
+  void set_tap(std::function<void(const Packet&)> tap) {
+    tap_ = std::move(tap);
+  }
+
+ private:
+  void deliver(PacketPtr p);
+
+  std::string name_;
+  std::uint16_t id_ = 0;
+  Port* peer_ = nullptr;
+  std::int64_t link_latency_ns_ = 0;
+  std::size_t rx_queue_cap_;
+  std::deque<PacketPtr> rx_queue_;
+  std::function<void(PacketPtr)> rx_handler_;
+  std::function<void(const Packet&)> tap_;
+  PortStats stats_;
+  bool link_up_ = true;
+};
+
+}  // namespace rb

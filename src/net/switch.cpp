@@ -1,0 +1,54 @@
+#include "net/switch.h"
+
+#include "net/packet.h"
+
+namespace rb {
+
+Port& EmbeddedSwitch::add_port(const std::string& name) {
+  auto port = std::make_unique<Port>(name_ + "." + name);
+  Port* raw = port.get();
+  const std::size_t idx = ports_.size();
+  raw->set_id(std::uint16_t(idx));
+  raw->set_rx_handler([this, idx](PacketPtr p) { on_rx(idx, std::move(p)); });
+  ports_.push_back(std::move(port));
+  return *raw;
+}
+
+void EmbeddedSwitch::add_static_entry(const MacAddr& mac, const Port& port) {
+  static_fdb_[mac] = port.id();
+}
+
+void EmbeddedSwitch::on_rx(std::size_t in_port, PacketPtr p) {
+  auto frame = p->data();
+  if (frame.size() < 14) return;  // runt, drop
+  MacAddr dst, src;
+  std::copy(frame.begin(), frame.begin() + 6, dst.bytes.begin());
+  std::copy(frame.begin() + 6, frame.begin() + 12, src.bytes.begin());
+
+  // Learn the source.
+  fdb_[src] = in_port;
+  p->rx_time_ns += hop_latency_ns_;
+
+  // Static entries win, then learned, then flood.
+  std::size_t out = SIZE_MAX;
+  if (auto it = static_fdb_.find(dst); it != static_fdb_.end())
+    out = it->second;
+  else if (auto it2 = fdb_.find(dst); it2 != fdb_.end())
+    out = it2->second;
+
+  if (out != SIZE_MAX && out != in_port && !dst.is_broadcast()) {
+    ++forwarded_;
+    ports_[out]->send(std::move(p));
+    return;
+  }
+  // Flood to all ports except ingress.
+  ++flooded_;
+  PacketPool& pool = PacketPool::default_pool();
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (i == in_port) continue;
+    PacketPtr copy = pool.clone(*p);
+    if (copy) ports_[i]->send(std::move(copy));
+  }
+}
+
+}  // namespace rb

@@ -1,0 +1,52 @@
+// L2 switch with static + learned MAC forwarding and VLAN awareness.
+//
+// Used twice in the architecture: as the fronthaul aggregation switch
+// (the testbed's Arista 7050) and as the embedded NIC switch that connects
+// SR-IOV virtual functions for middlebox chaining (paper Figure 8).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mac_addr.h"
+#include "net/port.h"
+
+namespace rb {
+
+class EmbeddedSwitch {
+ public:
+  explicit EmbeddedSwitch(std::string name = "sw") : name_(std::move(name)) {}
+
+  /// Add a switch-side port. The returned port should be connected (via
+  /// Port::connect) to the device's port. Forwarding happens inline on
+  /// receive.
+  Port& add_port(const std::string& name);
+
+  /// Pin a MAC address to a port (static entry; takes precedence over
+  /// learned entries).
+  void add_static_entry(const MacAddr& mac, const Port& port);
+
+  std::size_t num_ports() const { return ports_.size(); }
+  std::uint64_t flooded() const { return flooded_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+
+  /// Per-hop forwarding latency added to packets (models switch + PCIe
+  /// cost for the embedded NIC switch case).
+  void set_hop_latency_ns(std::int64_t ns) { hop_latency_ns_ = ns; }
+
+ private:
+  void on_rx(std::size_t in_port, PacketPtr p);
+
+  std::string name_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::unordered_map<MacAddr, std::size_t, MacAddrHash> fdb_;
+  std::unordered_map<MacAddr, std::size_t, MacAddrHash> static_fdb_;
+  std::int64_t hop_latency_ns_ = 500;
+  std::uint64_t flooded_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace rb

@@ -1,0 +1,48 @@
+#include "ran/channel.h"
+
+#include <cmath>
+
+namespace rb {
+namespace {
+
+/// Deterministic hash -> [-1, 1] for per-link shadowing.
+double unit_hash(std::uint32_t seed) {
+  std::uint32_t x = seed * 2654435761u + 0x9e3779b9u;
+  x ^= x >> 16;
+  x *= 0x85ebca6bu;
+  x ^= x >> 13;
+  return (double(x & 0xffffff) / double(0xffffff)) * 2.0 - 1.0;
+}
+
+}  // namespace
+
+double ChannelModel::distance_m(const Position& a, const Position& b) const {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double dz = double(a.floor - b.floor) * p_.floor_height_m;
+  double d = std::sqrt(dx * dx + dy * dy + dz * dz);
+  return d < p_.min_distance_m ? p_.min_distance_m : d;
+}
+
+double ChannelModel::rel_gain_db(const Position& a, const Position& b,
+                                 std::uint32_t link_seed) const {
+  const double d = distance_m(a, b);
+  double gain = -10.0 * p_.pathloss_exponent *
+                std::log10(d / p_.ref_distance_m);
+  const int floors = std::abs(a.floor - b.floor);
+  gain -= double(floors) * p_.floor_loss_db;
+  gain += p_.shadowing_sigma_db * unit_hash(link_seed);
+  return gain;
+}
+
+double ChannelModel::dl_snr_db(const Position& ru, const Position& ue,
+                               std::uint32_t link_seed) const {
+  return p_.dl_ref_snr_db + rel_gain_db(ru, ue, link_seed);
+}
+
+double ChannelModel::ul_snr_db(const Position& ru, const Position& ue,
+                               std::uint32_t link_seed) const {
+  return p_.ul_ref_snr_db + rel_gain_db(ru, ue, link_seed);
+}
+
+}  // namespace rb

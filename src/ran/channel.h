@@ -1,0 +1,60 @@
+// Indoor radio channel model.
+//
+// Replaces the paper's over-the-air testbed propagation (see DESIGN.md
+// substitution table). Log-distance path loss with per-floor penetration
+// and deterministic per-link shadowing; SNR references are calibrated at
+// 5 m, matching the paper's "close range (~5 meters)" baselines.
+#pragma once
+
+#include <cstdint>
+
+namespace rb {
+
+/// A position in the building. z is derived from the floor index.
+struct Position {
+  double x = 0.0;  // meters
+  double y = 0.0;  // meters
+  int floor = 0;
+
+  friend bool operator==(const Position&, const Position&) = default;
+};
+
+struct ChannelParams {
+  double dl_ref_snr_db = 26.0;   // DL SNR at 5 m, one antenna, full power
+  double ul_ref_snr_db = 13.2;   // UL SNR at 5 m (UE transmit power)
+  double ref_distance_m = 5.0;
+  double pathloss_exponent = 3.0;
+  double floor_loss_db = 30.0;   // penetration per concrete floor
+  double floor_height_m = 4.0;
+  double shadowing_sigma_db = 1.0;  // deterministic per-link component
+  double min_distance_m = 1.0;
+};
+
+class ChannelModel {
+ public:
+  explicit ChannelModel(ChannelParams p = {}) : p_(p) {}
+
+  const ChannelParams& params() const { return p_; }
+
+  /// 3D distance including floor height.
+  double distance_m(const Position& a, const Position& b) const;
+
+  /// Gain (dB, <= 0 beyond the reference distance) relative to the 5 m
+  /// reference, including floor penetration and shadowing. `link_seed`
+  /// makes shadowing deterministic per (tx, rx) pair.
+  double rel_gain_db(const Position& a, const Position& b,
+                     std::uint32_t link_seed = 0) const;
+
+  /// Absolute DL SNR (dB) at `ue` from a single antenna at `ru`.
+  double dl_snr_db(const Position& ru, const Position& ue,
+                   std::uint32_t link_seed = 0) const;
+
+  /// Absolute UL SNR (dB) at `ru` from `ue`.
+  double ul_snr_db(const Position& ru, const Position& ue,
+                   std::uint32_t link_seed = 0) const;
+
+ private:
+  ChannelParams p_;
+};
+
+}  // namespace rb

@@ -1,0 +1,482 @@
+#include "ran/du.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+
+#include "common/log.h"
+#include "iq/prb.h"
+
+namespace rb {
+namespace {
+
+/// Deterministic uniform IQ fill at a target RMS (int16 scale).
+void fill_uniform(IqSpan out, double rms, std::uint32_t& state) {
+  const double peak = rms * 1.732;  // uniform distribution peak
+  const std::int32_t a = std::int32_t(peak);
+  for (auto& s : out) {
+    state = state * 1664525u + 1013904223u;
+    s.i = sat16(std::int32_t(state >> 16) % (2 * a + 1) - a);
+    state = state * 1664525u + 1013904223u;
+    s.q = sat16(std::int32_t(state >> 16) % (2 * a + 1) - a);
+  }
+}
+
+}  // namespace
+
+DuModel::DuModel(DuConfig cfg, AirModel& air, CellId cell_id, Port& port,
+                 PacketPool& pool)
+    : cfg_(std::move(cfg)),
+      air_(&air),
+      cell_id_(cell_id),
+      port_(&port),
+      pool_(&pool),
+      sched_(cfg_.cell.n_prb(),
+             SchedulerParams{.efficiency = cfg_.vendor.efficiency}) {
+  fh_.comp = CompConfig{CompMethod::BlockFloatingPoint, cfg_.vendor.iq_width};
+  fh_.carrier_prbs = cfg_.cell.n_prb();
+  fh_.uplane_has_comp_hdr = cfg_.vendor.uplane_has_comp_hdr;
+  fh_.vlan_id = cfg_.vendor.vlan_id;
+  n_prb_ = cfg_.cell.n_prb();
+  n_ports_ = cfg_.cell.max_layers;
+
+  // Precompute compressed PRB prototypes.
+  const std::size_t prb_sz = fh_.comp.prb_bytes();
+  zero_prb_.assign(prb_sz, 0);  // BFP of all-zeros is all-zero bytes
+  std::uint32_t rng = 0xC0FFEEu + std::uint32_t(cfg_.du_id);
+  for (int v = 0; v < 8; ++v) {
+    PrbSamples samples{};
+    fill_uniform(IqSpan(samples.data(), samples.size()), AirModel::kDlTxRms,
+                 rng);
+    std::vector<std::uint8_t> bytes(prb_sz);
+    auto r = bfp_compress_prb(IqConstSpan(samples.data(), samples.size()),
+                              fh_.comp.iq_width, bytes);
+    (void)r;
+    signal_prbs_.push_back(std::move(bytes));
+  }
+  data_sections_.resize(std::size_t(n_ports_));
+  ssb_sections_.resize(std::size_t(n_ports_));
+}
+
+EthHeader DuModel::eth_to_ru() const {
+  EthHeader eth;
+  eth.dst = cfg_.ru_mac;
+  eth.src = cfg_.du_mac;
+  eth.has_vlan = true;
+  eth.vlan_id = fh_.vlan_id;
+  eth.pcp = 7;  // fronthaul rides the highest priority class
+  return eth;
+}
+
+std::uint8_t DuModel::next_seq(const EaxcId& eaxc) {
+  return seq_[eaxc.packed()]++;
+}
+
+void DuModel::send_frame(std::size_t len, PacketPtr p,
+                         std::int64_t emit_time_ns) {
+  if (len == 0) {
+    ++stats_.parse_errors;
+    return;
+  }
+  p->set_len(len);
+  p->rx_time_ns = emit_time_ns;
+  port_->send(std::move(p));
+}
+
+void DuModel::build_sections(std::int64_t slot) {
+  const std::size_t prb_sz = fh_.comp.prb_bytes();
+  payload_store_.clear();
+  has_dl_sections_ = false;
+  const bool ssb_slot = slot % cfg_.cell.ssb.period_slots == 0;
+
+  // Payload filler: `hot` sections carry signal-level IQ, idle ones zeros.
+  auto make_payload = [&](int start_prb, int n_prb, bool hot) {
+    payload_store_.emplace_back(std::size_t(n_prb) * prb_sz, 0);
+    auto& buf = payload_store_.back();
+    if (hot) {
+      for (int k = 0; k < n_prb; ++k) {
+        const auto& proto = signal_prbs_[std::size_t(
+            (start_prb + k + slot) % std::int64_t(signal_prbs_.size()))];
+        std::copy(proto.begin(), proto.end(),
+                  buf.begin() + std::ptrdiff_t(k) * std::ptrdiff_t(prb_sz));
+      }
+    }
+    return std::span<const std::uint8_t>(buf);
+  };
+
+  // Pre-reserve so payload spans stay stable.
+  payload_store_.reserve((dl_allocs_.size() + 1) * std::size_t(n_ports_) + 4);
+
+  for (int port = 0; port < n_ports_; ++port) {
+    auto& data = data_sections_[std::size_t(port)];
+    auto& ssbv = ssb_sections_[std::size_t(port)];
+    data.clear();
+    ssbv.clear();
+    std::uint16_t sid = 0;
+    for (const auto& al : dl_allocs_) {
+      // Cat-A precoding spreads every transmission across all antenna
+      // ports regardless of its rank (the DU's precoder maps L layers
+      // onto the full port set), so each port carries every allocation.
+      USectionData s;
+      s.section_id = sid++;
+      s.start_prb = std::uint16_t(al.start_prb);
+      s.num_prb = al.n_prb;
+      s.payload = make_payload(al.start_prb, al.n_prb, true);
+      data.push_back(s);
+      has_dl_sections_ = true;
+    }
+    ssbv = data;
+    if (ssb_slot) {
+      // SSB window: real signal on the primary antenna, zeros on the
+      // others (the grid position is still transported so a dMIMO
+      // middlebox can graft the SSB into them).
+      const auto& ssb = cfg_.cell.ssb;
+      USectionData s;
+      s.section_id = 0x7ff;
+      s.start_prb = std::uint16_t(ssb.start_prb);
+      s.num_prb = ssb.n_prb;
+      s.payload = make_payload(ssb.start_prb, ssb.n_prb, port == 0);
+      ssbv.push_back(s);
+      has_dl_sections_ = true;
+    }
+  }
+}
+
+void DuModel::emit_cplane_dl(std::int64_t slot, const SlotPoint& at,
+                             std::int64_t slot_start_ns) {
+  const int n_sym = cfg_.vendor.tdd.dl_symbols(slot);
+  if (n_sym <= 0 || !has_dl_sections_) return;
+  // Symbol coverage: with data the whole DL region is scheduled; an
+  // SSB-only slot schedules just the SSB symbol window. Downstream
+  // middleboxes key their per-symbol mux decisions on this (Algorithm 2).
+  const bool ssb_only = dl_allocs_.empty();
+  const std::uint8_t first_sym =
+      ssb_only ? std::uint8_t(cfg_.cell.ssb.first_symbol) : 0;
+  const std::uint8_t cover_syms =
+      ssb_only ? std::uint8_t(cfg_.cell.ssb.n_symbols) : std::uint8_t(n_sym);
+  for (int port = 0; port < n_ports_; ++port) {
+    EaxcId eaxc{0, 0, 0, std::uint8_t(port)};
+    auto emit_one = [&](std::uint8_t start_sym, std::uint8_t num_sym) {
+      CPlaneMsg msg;
+      msg.direction = Direction::Downlink;
+      msg.at = at;
+      msg.at.symbol = start_sym;
+      msg.section_type = SectionType::Type1;
+      msg.comp = fh_.comp;
+      CSection s;
+      s.section_id = 0;
+      s.start_prb = 0;
+      s.num_prb = std::uint16_t(n_prb_ > 255 ? 0 : n_prb_);
+      s.num_symbol = num_sym;
+      msg.sections.push_back(s);
+      PacketPtr p = pool_->alloc();
+      if (!p) {
+        ++stats_.pool_exhausted;
+        return;
+      }
+      const std::size_t len = build_cplane_frame(
+          p->raw(), eth_to_ru(), eaxc, next_seq(eaxc), msg, fh_);
+      send_frame(len, std::move(p), slot_start_ns - kCplaneAdvanceNs);
+      ++stats_.cplane_tx;
+    };
+    if (cfg_.vendor.cplane_per_symbol) {
+      for (int s = 0; s < cover_syms; ++s)
+        emit_one(std::uint8_t(first_sym + s), 1);
+    } else {
+      emit_one(first_sym, cover_syms);
+    }
+  }
+}
+
+void DuModel::emit_cplane_ul(std::int64_t slot, const SlotPoint& at,
+                             std::int64_t slot_start_ns) {
+  const int n_sym = cfg_.vendor.tdd.ul_symbols(slot);
+  if (n_sym <= 0) return;
+  for (int port = 0; port < n_ports_; ++port) {
+    EaxcId eaxc{0, 0, 0, std::uint8_t(port)};
+    CPlaneMsg msg;
+    msg.direction = Direction::Uplink;
+    msg.at = at;
+    // UL symbols sit at the end of the slot (S-slot DL/guard/UL split).
+    msg.at.symbol = std::uint8_t(kSymbolsPerSlot - n_sym);
+    msg.section_type = SectionType::Type1;
+    msg.comp = fh_.comp;
+    CSection s;
+    s.section_id = 0;
+    s.start_prb = 0;
+    s.num_prb = std::uint16_t(n_prb_ > 255 ? 0 : n_prb_);
+    s.num_symbol = std::uint8_t(n_sym);
+    msg.sections.push_back(s);
+    PacketPtr p = pool_->alloc();
+    if (!p) {
+      ++stats_.pool_exhausted;
+      return;
+    }
+    const std::size_t len = build_cplane_frame(p->raw(), eth_to_ru(), eaxc,
+                                               next_seq(eaxc), msg, fh_);
+    send_frame(len, std::move(p), slot_start_ns - kCplaneAdvanceNs);
+    ++stats_.cplane_tx;
+  }
+}
+
+void DuModel::emit_prach_cplane(std::int64_t slot, const SlotPoint& at,
+                                std::int64_t slot_start_ns) {
+  const auto& prach = cfg_.cell.prach;
+  if (prach.period_slots <= 0 || slot % prach.period_slots != prach.slot_offset)
+    return;
+  EaxcId eaxc{1, 0, 0, 0};  // PRACH stream
+  CPlaneMsg msg;
+  msg.direction = Direction::Uplink;
+  msg.filter_index = 1;  // PRACH filter
+  msg.at = at;
+  msg.section_type = SectionType::Type3;
+  msg.comp = fh_.comp;
+  msg.time_offset = 0;
+  msg.frame_structure = 0xb1;  // FFT size + mu marker (opaque to us)
+  msg.cp_length = 0;
+  CSection s;
+  s.section_id = cfg_.du_id;  // Algorithm 3: section id == DU id
+  s.start_prb = 0;
+  s.num_prb = std::uint16_t(prach.n_prb);
+  s.num_symbol = 12;
+  s.freq_offset = prach.freq_offset;
+  msg.sections.push_back(s);
+  PacketPtr p = pool_->alloc();
+  if (!p) {
+    ++stats_.pool_exhausted;
+    return;
+  }
+  const std::size_t len = build_cplane_frame(p->raw(), eth_to_ru(), eaxc,
+                                             next_seq(eaxc), msg, fh_);
+  send_frame(len, std::move(p), slot_start_ns - kCplaneAdvanceNs);
+  ++stats_.cplane_tx;
+}
+
+void DuModel::emit_uplane_dl(std::int64_t slot, const SlotPoint& at,
+                             std::int64_t slot_start_ns) {
+  const int n_sym = cfg_.vendor.tdd.dl_symbols(slot);
+  if (n_sym <= 0) return;
+  const bool ssb_slot = slot % cfg_.cell.ssb.period_slots == 0;
+  const auto& ssb = cfg_.cell.ssb;
+  // Symbol-major emission: the real-time pipeline releases all ports of a
+  // symbol together, then moves to the next symbol. Symbols without any
+  // scheduled section carry no frame at all.
+  for (int sym = 0; sym < n_sym; ++sym) {
+    const bool ssb_sym = ssb_slot && sym >= ssb.first_symbol &&
+                         sym < ssb.first_symbol + ssb.n_symbols;
+    for (int port = 0; port < n_ports_; ++port) {
+      const auto& sections = ssb_sym ? ssb_sections_[std::size_t(port)]
+                                     : data_sections_[std::size_t(port)];
+      if (sections.empty()) continue;
+      EaxcId eaxc{0, 0, 0, std::uint8_t(port)};
+      UPlaneMsg hdr;
+      hdr.direction = Direction::Downlink;
+      hdr.at = at;
+      hdr.at.symbol = std::uint8_t(sym);
+      // Wide-mantissa payloads can exceed the jumbo MTU: fragment.
+      const auto frames = split_sections_for_mtu(
+          std::span(sections.data(), sections.size()), fh_);
+      for (const auto& frame_secs : frames) {
+        PacketPtr p = pool_->alloc();
+        if (!p) {
+          ++stats_.pool_exhausted;
+          return;
+        }
+        const std::size_t len = build_uplane_frame(
+            p->raw(), eth_to_ru(), eaxc, next_seq(eaxc), hdr,
+            std::span(frame_secs.data(), frame_secs.size()), fh_);
+        // U-plane frames are paced per symbol, exactly as the DU's
+        // real-time pipeline releases them; deadline checks downstream
+        // are relative to each frame's own symbol.
+        send_frame(len, std::move(p),
+                   slot_start_ns + sym * symbol_duration_ns(cfg_.cell.scs));
+        ++stats_.uplane_tx;
+      }
+    }
+  }
+}
+
+void DuModel::begin_slot(std::int64_t slot, std::int64_t slot_start_ns) {
+  if (failed_) return;
+  SlotPoint at;
+  {
+    const int spsf = slots_per_subframe(cfg_.cell.scs);
+    at.slot = std::uint8_t(slot % spsf);
+    const std::int64_t sf = slot / spsf;
+    at.subframe = std::uint8_t(sf % 10);
+    at.frame = std::uint8_t((sf / 10) % 256);
+    at.symbol = 0;
+  }
+
+  // HARQ feedback from the previous slot's delivery results.
+  const auto attached = air_->attached_ues(cell_id_);
+  std::vector<std::pair<UeId, UeReport>> reports;
+  reports.reserve(attached.size());
+  for (UeId ue : attached) {
+    const std::uint64_t errs = air_->dl_errors(ue);
+    auto& last = last_dl_errors_[ue];
+    sched_.on_harq_feedback(ue, errs - last, /*scheduled=*/true);
+    last = errs;
+    const std::uint64_t ul_errs = air_->ul_errors(ue);
+    auto& ul_last = last_ul_errors_[ue];
+    sched_.on_ul_feedback(ue, ul_errs - ul_last, /*scheduled=*/true);
+    ul_last = ul_errs;
+    reports.push_back({ue, air_->ue_report(ue)});
+  }
+
+  const int dl_sym = cfg_.vendor.tdd.dl_symbols(slot);
+  const int ul_sym = cfg_.vendor.tdd.ul_symbols(slot);
+
+  dl_allocs_.clear();
+  ul_allocs_.clear();
+  ul_resolved_.clear();
+  if (dl_sym > 0) {
+    dl_allocs_ = sched_.schedule_dl(reports, dl_sym - 1);
+    air_->publish_dl_alloc(cell_id_, slot, dl_allocs_);
+  }
+  if (ul_sym > 0) {
+    ul_allocs_ = sched_.schedule_ul(reports, ul_sym - 1);
+    air_->publish_ul_alloc(cell_id_, slot, ul_allocs_);
+    ul_alloc_slot_ = slot;
+  }
+  int dl_prbs = 0, ul_prbs = 0;
+  for (const auto& a : dl_allocs_) dl_prbs += a.n_prb;
+  for (const auto& a : ul_allocs_) ul_prbs += a.n_prb;
+  sched_.log_utilization(slot, dl_prbs, ul_prbs, dl_sym > 0, ul_sym > 0);
+
+  if (dl_sym > 0) {
+    build_sections(slot);
+    emit_cplane_dl(slot, at, slot_start_ns);
+    emit_uplane_dl(slot, at, slot_start_ns);
+  }
+  if (ul_sym > 0) {
+    emit_cplane_ul(slot, at, slot_start_ns);
+    emit_prach_cplane(slot, at, slot_start_ns);
+  }
+}
+
+void DuModel::process_rx(std::int64_t slot, std::int64_t slot_start_ns) {
+  if (failed_) {
+    // Drain and discard: a dead DU's NIC queue does not back-pressure.
+    std::vector<PacketPtr> junk;
+    while (port_->rx_burst(junk, 64) > 0) junk.clear();
+    return;
+  }
+  // UL PUSCH combining uses every antenna port; allocations are resolved
+  // only once all ports' streams arrived on time (a late merged stream -
+  // e.g. a DAS middlebox past its budget - fails the whole slot's uplink).
+  std::uint32_t ports_seen = 0;
+  std::vector<PacketPtr> port0_pkts;
+  std::vector<UPlaneMsg> port0_msgs;
+
+  std::vector<PacketPtr> pkts;
+  while (port_->rx_burst(pkts, 64) > 0) {
+    for (auto& p : pkts) {
+      auto frame = parse_frame(p->data(), fh_);
+      if (!frame) {
+        ++stats_.parse_errors;
+        continue;
+      }
+      const std::int64_t nominal =
+          slot_start_ns + std::int64_t(frame->at().symbol) *
+                              symbol_duration_ns(cfg_.cell.scs);
+      if (p->rx_time_ns > nominal + cfg_.latency_budget_ns) {
+        if (getenv("RB_DEBUG_LATE"))
+          fprintf(stderr, "[late@du] slot=%lld sym=%d over_by=%lldns cplane=%d\n",
+                  (long long)slot, frame->at().symbol,
+                  (long long)(p->rx_time_ns - nominal - cfg_.latency_budget_ns),
+                  int(frame->is_cplane()));
+        ++stats_.late_drops;
+        continue;
+      }
+      if (!frame->is_uplane()) continue;
+      const auto& u = frame->uplane();
+      if (u.direction != Direction::Uplink) continue;
+      ++stats_.uplane_rx;
+      const auto eaxc = frame->ecpri.eaxc;
+
+      if (eaxc.du_port == 1) {
+        // PRACH stream: detect energy in sections addressed to us.
+        for (const auto& sec : u.sections) {
+          if (sec.section_id != cfg_.du_id) continue;
+          if (sec.payload_offset + sec.payload_len > p->len()) continue;
+          std::array<IqSample, kScPerPrb> prb{};
+          auto payload = p->data().subspan(sec.payload_offset);
+          if (!bfp_decompress_prb(payload, sec.comp.iq_width,
+                                  IqSpan(prb.data(), prb.size())))
+            continue;
+          const double r = rms(IqConstSpan(prb.data(), prb.size()));
+          if (r >= AirModel::kPrachDetectFactor * AirModel::kNoiseRms) {
+            ++stats_.prach_detections;
+            air_->complete_prach(cell_id_, slot);
+          }
+        }
+        continue;
+      }
+
+      // UL data: note the port's arrival; decode happens after the drain
+      // once every expected antenna port is in.
+      if (ul_alloc_slot_ != slot) continue;
+      ports_seen |= 1u << eaxc.ru_port;
+      if (eaxc.ru_port == 0) {
+        port0_msgs.push_back(u);
+        port0_pkts.push_back(std::move(p));
+      }
+    }
+    pkts.clear();
+  }
+
+  const std::uint32_t expected = (1u << n_ports_) - 1;
+  if (ul_alloc_slot_ != slot || (ports_seen & expected) != expected) return;
+
+  // Locate a PRB across the (possibly MTU-fragmented) section set and
+  // measure its decompressed power.
+  auto prb_power = [&](int prb, double* out) {
+    for (std::size_t pi = 0; pi < port0_pkts.size(); ++pi) {
+      for (const auto& sec : port0_msgs[pi].sections) {
+        if (prb < sec.start_prb || prb >= sec.start_prb + sec.num_prb)
+          continue;
+        const std::size_t prb_sz = sec.comp.prb_bytes();
+        const std::size_t off =
+            sec.payload_offset + std::size_t(prb - sec.start_prb) * prb_sz;
+        if (off + prb_sz > port0_pkts[pi]->len()) return false;
+        std::array<IqSample, kScPerPrb> buf{};
+        if (!bfp_decompress_prb(port0_pkts[pi]->data().subspan(off),
+                                sec.comp.iq_width,
+                                IqSpan(buf.data(), buf.size())))
+          return false;
+        *out = mean_power(IqConstSpan(buf.data(), buf.size()));
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (std::size_t ai = 0; ai < ul_allocs_.size(); ++ai) {
+    if (ul_resolved_.count(int(ai))) continue;
+    const auto& al = ul_allocs_[ai];
+    // Sample up to three PRBs of the allocation for decode energy: this is
+    // the integrity gate that catches middlebox IQ corruption.
+    double acc = 0.0;
+    int n = 0;
+    for (int k = 0; k < std::min(3, al.n_prb); ++k) {
+      const int prb = al.start_prb + k * std::max(1, al.n_prb / 3);
+      double pw = 0.0;
+      if (prb_power(prb, &pw)) {
+        acc += pw;
+        ++n;
+      }
+    }
+    if (n == 0) continue;
+    const double r = std::sqrt(acc / n);
+    if (r < kUlDecodeFactor * AirModel::kNoiseRms) {
+      ++stats_.ul_decode_fail;
+      continue;
+    }
+    air_->resolve_ul_alloc(cell_id_, slot, al);
+    ul_resolved_.insert(int(ai));
+  }
+}
+
+}  // namespace rb

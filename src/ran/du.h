@@ -1,0 +1,139 @@
+// DU (Distributed Unit) model.
+//
+// Owns the MAC scheduler and the fronthaul endpoint of one cell: emits
+// C-plane scheduling messages and BFP-compressed DL U-plane frames, and
+// consumes the UL U-plane (data + PRACH) coming back. The middleboxes sit
+// between this and the RuModel; neither endpoint knows they exist, which
+// is the paper's transparency requirement.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fronthaul/frame.h"
+#include "net/packet.h"
+#include "net/port.h"
+#include "ran/air.h"
+#include "ran/scheduler.h"
+#include "ran/vendor.h"
+
+namespace rb {
+
+struct DuConfig {
+  CellConfig cell{};
+  VendorProfile vendor{};
+  MacAddr du_mac = MacAddr::du(0);
+  MacAddr ru_mac = MacAddr::ru(0);  // logical RU the DU believes it drives
+  std::uint8_t du_id = 0;           // used as PRACH section id (Alg. 3)
+  /// Max fronthaul one-way delay (link + middlebox) before a packet is
+  /// outside the reception window and dropped (paper: "a few tens of us").
+  std::int64_t latency_budget_ns = 30'000;
+};
+
+struct DuStats {
+  std::uint64_t cplane_tx = 0;
+  std::uint64_t uplane_tx = 0;
+  std::uint64_t uplane_rx = 0;
+  std::uint64_t late_drops = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t ul_decode_fail = 0;  // payload energy below decode floor
+  std::uint64_t prach_detections = 0;
+  std::uint64_t pool_exhausted = 0;
+};
+
+class DuModel {
+ public:
+  DuModel(DuConfig cfg, AirModel& air, CellId cell_id, Port& port,
+          PacketPool& pool = PacketPool::default_pool());
+
+  /// Scheduling + DL emission for one slot. `slot_start_ns` stamps packets
+  /// for deadline accounting.
+  void begin_slot(std::int64_t slot, std::int64_t slot_start_ns);
+
+  /// Drain the port: UL data U-plane and PRACH. Call after RUs emitted.
+  void process_rx(std::int64_t slot, std::int64_t slot_start_ns);
+
+  MacScheduler& scheduler() { return sched_; }
+  const DuStats& stats() const { return stats_; }
+
+  /// Failure injection: a failed DU emits nothing and processes nothing
+  /// (software crash / server loss), for the resilience experiments.
+  void set_failed(bool failed) { failed_ = failed; }
+  bool failed() const { return failed_; }
+  const FhContext& fh() const { return fh_; }
+  const DuConfig& config() const { return cfg_; }
+
+  /// Offered-load injection (the iperf stand-in feeds these).
+  void add_dl_traffic(UeId ue, std::int64_t bits) {
+    sched_.add_dl_backlog(ue, bits);
+  }
+  void add_ul_traffic(UeId ue, std::int64_t bits) {
+    sched_.add_ul_backlog(ue, bits);
+  }
+
+  /// Amplitude floor for declaring an UL allocation decodable, as a factor
+  /// over the noise RMS.
+  static constexpr double kUlDecodeFactor = 1.35;
+
+  /// C-plane messages are released T1a ahead of their slot's airtime
+  /// (O-RAN transmit windows), so control never contends with the U-plane
+  /// for middlebox processing time.
+  static constexpr std::int64_t kCplaneAdvanceNs = 200'000;
+
+ private:
+  void emit_cplane_dl(std::int64_t slot, const SlotPoint& at,
+                      std::int64_t slot_start_ns);
+  void emit_cplane_ul(std::int64_t slot, const SlotPoint& at,
+                      std::int64_t slot_start_ns);
+  void emit_uplane_dl(std::int64_t slot, const SlotPoint& at,
+                      std::int64_t slot_start_ns);
+  void emit_prach_cplane(std::int64_t slot, const SlotPoint& at,
+                         std::int64_t slot_start_ns);
+  void send_frame(std::size_t len, PacketPtr p, std::int64_t slot_start_ns);
+  /// Compose the per-port section lists for this slot: one section per
+  /// allocation (the DU only transports scheduled PRBs, like real stacks),
+  /// plus the SSB window section on SSB symbols. Fronthaul volume is
+  /// therefore traffic-dependent, which the CPU-utilization experiments
+  /// (Figure 16) rely on.
+  void build_sections(std::int64_t slot);
+
+  EthHeader eth_to_ru() const;
+  std::uint8_t next_seq(const EaxcId& eaxc);
+
+  DuConfig cfg_;
+  AirModel* air_;
+  CellId cell_id_;
+  Port* port_;
+  PacketPool* pool_;
+  FhContext fh_;
+  MacScheduler sched_;
+  DuStats stats_;
+
+  int n_prb_;
+  int n_ports_;
+
+  // Cached compressed PRB prototypes (see DESIGN.md: substrate fast path).
+  std::vector<std::uint8_t> zero_prb_;
+  std::vector<std::vector<std::uint8_t>> signal_prbs_;  // rotating variants
+
+  // Per-port section lists for the current slot. Payload bytes live in
+  // payload_store_ (stable across the slot).
+  std::vector<std::vector<USectionData>> data_sections_;  // data symbols
+  std::vector<std::vector<USectionData>> ssb_sections_;   // SSB symbols
+  std::vector<std::vector<std::uint8_t>> payload_store_;
+  bool has_dl_sections_ = false;
+
+  std::vector<DlAlloc> dl_allocs_;   // published this slot
+  std::vector<UlAlloc> ul_allocs_;
+  std::unordered_set<int> ul_resolved_;  // alloc indices credited this slot
+  std::int64_t ul_alloc_slot_ = -1;
+
+  std::unordered_map<std::uint16_t, std::uint8_t> seq_;
+  std::unordered_map<UeId, std::uint64_t> last_dl_errors_;
+  std::unordered_map<UeId, std::uint64_t> last_ul_errors_;
+  bool failed_ = false;
+};
+
+}  // namespace rb

@@ -1,0 +1,75 @@
+// SlotEngine: the discrete-time driver of a full deployment.
+//
+// Per slot:
+//   1. traffic hook injects offered load into the DUs,
+//   2. DUs schedule and emit C-plane + DL U-plane,
+//   3. middleboxes pump (possibly multiple passes for chains),
+//   4. RUs absorb DL and report radiated spectrum to the AirModel,
+//   5. the AirModel resolves attachment and DL delivery,
+//   6. RUs serve cached UL requests (data + PRACH),
+//   7. middleboxes pump again,
+//   8. DUs consume UL and complete PRACH detections.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/timing.h"
+#include "ran/air.h"
+#include "ran/du.h"
+#include "ran/ru.h"
+
+namespace rb {
+
+/// Anything that moves packets between its ports when pumped; the
+/// RANBooster middlebox runtime implements this.
+class Pumpable {
+ public:
+  virtual ~Pumpable() = default;
+  /// Process pending packets. Returns true if any packet moved. The
+  /// engine pumps until quiescent (bounded passes) so chains drain.
+  virtual bool pump(std::int64_t slot, std::int64_t slot_start_ns) = 0;
+  /// Slot boundary notification (per-slot CPU/latency accounting resets).
+  virtual void begin_slot(std::int64_t slot) { (void)slot; }
+};
+
+class SlotEngine {
+ public:
+  explicit SlotEngine(AirModel& air, Scs scs = Scs::kHz30)
+      : air_(&air), clock_(scs) {}
+
+  void add_du(DuModel& du) { dus_.push_back(&du); }
+  void add_ru(RuModel& ru) { rus_.push_back(&ru); }
+  void add_middlebox(Pumpable& mb) { mbs_.push_back(&mb); }
+
+  /// Called at the start of every slot with the slot index - used by the
+  /// traffic generators to feed backlog into the DUs.
+  void set_traffic_hook(std::function<void(std::int64_t)> hook) {
+    traffic_ = std::move(hook);
+  }
+
+  void run_slots(int n);
+  /// Run for a simulated duration.
+  void run_ms(double ms);
+
+  std::int64_t current_slot() const { return clock_.total_slots(); }
+  std::int64_t elapsed_ns() const { return clock_.elapsed_ns(); }
+  const SlotClock& clock() const { return clock_; }
+
+  /// Convenience: run until every UE is attached or `max_slots` elapse.
+  /// Returns true if all attached.
+  bool run_until_attached(int max_slots = 400);
+
+ private:
+  void run_one_slot();
+
+  AirModel* air_;
+  SlotClock clock_;
+  std::vector<DuModel*> dus_;
+  std::vector<RuModel*> rus_;
+  std::vector<Pumpable*> mbs_;
+  std::function<void(std::int64_t)> traffic_;
+};
+
+}  // namespace rb

@@ -1,0 +1,55 @@
+// SINR -> spectral efficiency -> bits mapping, with the MIMO layer model.
+//
+// Calibration: constants here are chosen so the simulated baselines land on
+// the paper's measured anchors (Table 2 and section 6.2 numbers):
+//   100 MHz 4x4 DL ~ 898 Mbps, 2-layer ~ 653 Mbps, UL SISO ~ 70 Mbps,
+//   40 MHz DL ~ 330 Mbps / UL ~ 25 Mbps, 25 MHz 4x4 DL ~ 200 Mbps.
+// See DESIGN.md section 5 and the calibration tests.
+#pragma once
+
+#include <cstdint>
+
+namespace rb {
+
+/// Link-level efficiency constants.
+struct PhyRateParams {
+  /// Implementation efficiency applied to Shannon capacity (coding,
+  /// control overhead, scheduler quantization).
+  double coding_efficiency = 0.92;
+  /// Spectral-efficiency ceiling per layer (256-QAM with max code rate).
+  double max_se_per_layer = 7.4;
+  /// Rank-1 ceiling: the paper's SISO measurements (Figures 13/14: a
+  /// single-layer 100 MHz cell peaks at ~250 Mbps) imply the stacks cap
+  /// single-codeword SISO transport around 4 b/s/Hz; calibrated to that.
+  double max_se_rank1 = 4.0;
+  /// Minimum per-layer SINR (dB) to sustain any transmission (QPSK edge).
+  double min_sinr_db = -6.0;
+};
+
+/// Per-layer SINR penalty for spatial multiplexing with `layers` layers,
+/// applied to the total-power SINR (sum over all radiating antennas):
+/// transmit power is split across layers and the channel becomes harder to
+/// invert at higher rank (conditioning loss). Calibrated against Table 2.
+double mimo_layer_penalty_db(int layers);
+
+/// Per-layer spectral efficiency (bits/s/Hz) at a per-layer SINR, for a
+/// transmission with `layers` spatial layers (rank 1 has a lower ceiling,
+/// see PhyRateParams::max_se_rank1).
+double spectral_efficiency(double sinr_db, int layers = 2,
+                           const PhyRateParams& p = {});
+
+/// Bits deliverable in one slot over `n_prb` PRBs, `data_symbols` OFDM
+/// symbols and `layers` layers at per-layer SINR `sinr_db`.
+std::int64_t slot_bits(double sinr_db, int n_prb, int data_symbols,
+                       int layers, const PhyRateParams& p = {});
+
+/// CQI-style quantization of SINR used for scheduler feedback (0.5 dB
+/// steps; keeps the MCS choice stable under tiny numeric noise).
+double quantize_sinr_db(double sinr_db);
+
+/// Data symbols per DL slot after PDCCH/DMRS overhead.
+inline constexpr int kDlDataSymbols = 13;
+/// Data symbols per UL slot after DMRS overhead.
+inline constexpr int kUlDataSymbols = 13;
+
+}  // namespace rb

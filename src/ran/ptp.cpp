@@ -1,0 +1,51 @@
+#include "ran/ptp.h"
+
+namespace rb {
+namespace {
+std::int64_t hash_offset(const std::string& name, std::int64_t bound) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : name) {
+    h ^= std::uint64_t(std::uint8_t(c));
+    h *= 1099511628211ull;
+  }
+  const std::int64_t half = bound / 2;
+  if (half <= 0) return 0;
+  return std::int64_t(h % std::uint64_t(2 * half)) - half;
+}
+}  // namespace
+
+void PtpGrandmaster::add_node(const std::string& name) {
+  offsets_.emplace(name, hash_offset(name, lock_bound_ns_));
+}
+
+std::int64_t PtpGrandmaster::offset_ns(const std::string& name) const {
+  auto it = offsets_.find(name);
+  return it == offsets_.end() ? 0 : it->second;
+}
+
+bool PtpGrandmaster::locked(const std::string& name) const {
+  auto it = offsets_.find(name);
+  if (it == offsets_.end()) return false;
+  return std::llabs(it->second) <= lock_bound_ns_;
+}
+
+void PtpGrandmaster::set_offset_ns(const std::string& name, std::int64_t ns) {
+  offsets_[name] = ns;
+}
+
+std::int64_t PtpGrandmaster::max_pairwise_offset_ns() const {
+  std::int64_t lo = 0, hi = 0;
+  bool first = true;
+  for (const auto& [_, off] : offsets_) {
+    if (first) {
+      lo = hi = off;
+      first = false;
+    } else {
+      if (off < lo) lo = off;
+      if (off > hi) hi = off;
+    }
+  }
+  return hi - lo;
+}
+
+}  // namespace rb

@@ -1,0 +1,48 @@
+// PTP/SyncE synchronization model.
+//
+// All fronthaul-compliant RUs and DUs are synchronized to a grandmaster
+// (the testbed's Qulsar QG2); the middleboxes inherit this for free (paper
+// section 4.2). We model per-node offsets as bounded deterministic values:
+// nodes within the bound are "locked"; a node pushed outside the bound
+// (failure injection) violates the fronthaul timing windows and its
+// packets are rejected, which the tests exercise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace rb {
+
+class PtpGrandmaster {
+ public:
+  /// dMIMO-grade phase budget (a few tens of ns, paper cites nanosecond-
+  /// level requirements for coherent transmission).
+  explicit PtpGrandmaster(std::int64_t lock_bound_ns = 60)
+      : lock_bound_ns_(lock_bound_ns) {}
+
+  /// Register a node; its steady-state offset is a deterministic hash in
+  /// (-bound/2, bound/2).
+  void add_node(const std::string& name);
+
+  /// Current phase offset of a node vs the GM (ns).
+  std::int64_t offset_ns(const std::string& name) const;
+
+  /// True when the node's offset is within the lock bound.
+  bool locked(const std::string& name) const;
+
+  /// Failure injection: force a node's offset (e.g. holdover drift).
+  void set_offset_ns(const std::string& name, std::int64_t ns);
+
+  std::int64_t lock_bound_ns() const { return lock_bound_ns_; }
+
+  /// Worst pairwise offset across all nodes - the relative phase error
+  /// that matters for distributed MIMO coherence.
+  std::int64_t max_pairwise_offset_ns() const;
+
+ private:
+  std::int64_t lock_bound_ns_;
+  std::unordered_map<std::string, std::int64_t> offsets_;
+};
+
+}  // namespace rb

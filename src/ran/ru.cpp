@@ -1,0 +1,329 @@
+#include "ran/ru.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rb {
+
+RuModel::RuModel(RuModelConfig cfg, AirModel& air, RuId ru_id, Port& port,
+                 PacketPool& pool)
+    : cfg_(std::move(cfg)),
+      air_(&air),
+      ru_id_(ru_id),
+      port_(&port),
+      pool_(&pool) {
+  n_prb_ = prbs_for_bandwidth(cfg_.site.bandwidth, Scs::kHz30);
+}
+
+Hertz RuModel::prb0_freq() const {
+  return cfg_.site.center_freq - 12 * scs_hz(Scs::kHz30) * n_prb_ / 2;
+}
+
+void RuModel::add_interval(std::vector<PrbInterval>& iv, int start,
+                           int count) {
+  // Intervals arrive out of order across symbols; collect raw and
+  // normalize (sort + merge) once per slot before reporting.
+  if (count <= 0) return;
+  iv.push_back({start, count});
+}
+
+void RuModel::normalize(std::vector<PrbInterval>& iv) {
+  if (iv.size() < 2) return;
+  std::sort(iv.begin(), iv.end(), [](const PrbInterval& a, const PrbInterval& b) {
+    return a.start < b.start;
+  });
+  std::vector<PrbInterval> out;
+  out.push_back(iv.front());
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    if (iv[i].start <= out.back().end()) {
+      const int end = std::max(out.back().end(), iv[i].end());
+      out.back().count = end - out.back().start;
+    } else {
+      out.push_back(iv[i]);
+    }
+  }
+  iv = std::move(out);
+}
+
+void RuModel::process_dl(std::int64_t slot, std::int64_t slot_start_ns) {
+  if (cache_slot_ != slot) {
+    cache_slot_ = slot;
+    ul_requests_.clear();
+    prach_requests_.clear();
+    port_accum_.clear();
+  }
+  const bool ssb_slot =
+      cfg_.ssb_period_slots > 0 && slot % cfg_.ssb_period_slots == 0;
+
+  std::vector<PacketPtr> pkts;
+  while (port_->rx_burst(pkts, 64) > 0) {
+    for (auto& p : pkts) {
+      auto frame = parse_frame(p->data(), cfg_.fh);
+      if (!frame) {
+        ++stats_.parse_errors;
+        continue;
+      }
+      // Reception window: each frame must arrive within the budget of its
+      // own symbol's nominal time.
+      const std::int64_t nominal =
+          slot_start_ns +
+          std::int64_t(frame->at().symbol) * symbol_duration_ns(Scs::kHz30);
+      if (p->rx_time_ns > nominal + cfg_.latency_budget_ns) {
+        ++stats_.late_drops;
+        continue;
+      }
+      const EaxcId eaxc = frame->ecpri.eaxc;
+      if (frame->is_cplane()) {
+        ++stats_.cplane_rx;
+        const auto& c = frame->cplane();
+        if (c.direction == Direction::Downlink) {
+          // Record scheduled coverage; radiation is clipped to it.
+          auto& acc = port_accum_[eaxc.ru_port];
+          for (const auto& s : c.sections) {
+            const int n = s.effective_prbs(n_prb_);
+            add_interval(acc.cplane, s.start_prb, n);
+          }
+        } else if (c.section_type == SectionType::Type3) {
+          for (const auto& s : c.sections) {
+            PrachRequest r;
+            r.eaxc = eaxc;
+            r.section_id = s.section_id;
+            r.freq_offset = s.freq_offset;
+            r.n_prb = s.effective_prbs(n_prb_);
+            r.reply_to = frame->eth.src;
+            prach_requests_.push_back(r);
+          }
+        } else {
+          if (eaxc.ru_port >= cfg_.site.n_antennas) {
+            ++stats_.unexpected_port_drops;
+            continue;
+          }
+          for (const auto& s : c.sections) {
+            UlRequest r;
+            r.port = eaxc.ru_port;
+            r.start_prb = s.start_prb;
+            r.n_prb = s.effective_prbs(n_prb_);
+            r.symbol = c.at.symbol;
+            r.reply_to = frame->eth.src;
+            r.eaxc = eaxc;
+            ul_requests_.push_back(r);
+          }
+        }
+        continue;
+      }
+
+      // U-plane (downlink IQ to radiate).
+      const auto& u = frame->uplane();
+      if (u.direction != Direction::Downlink) continue;
+      if (eaxc.ru_port >= cfg_.site.n_antennas) {
+        ++stats_.unexpected_port_drops;
+        continue;
+      }
+      ++stats_.uplane_rx;
+      auto& acc = port_accum_[eaxc.ru_port];
+      const bool ssb_sym = ssb_slot && u.at.symbol >= cfg_.ssb_first_symbol &&
+                           u.at.symbol <
+                               cfg_.ssb_first_symbol + cfg_.ssb_n_symbols;
+      for (const auto& sec : u.sections) {
+        if (sec.payload_offset + sec.payload_len > p->len()) {
+          ++stats_.parse_errors;
+          continue;
+        }
+        const std::size_t prb_sz = sec.comp.prb_bytes();
+        auto payload = p->data().subspan(sec.payload_offset, sec.payload_len);
+        // Scan BFP exponents to find energized PRBs (no decompression).
+        int run_start = -1;
+        for (int k = 0; k <= sec.num_prb; ++k) {
+          bool hot = false;
+          if (k < sec.num_prb) {
+            const std::uint8_t e =
+                bfp_wire_exponent(payload.subspan(std::size_t(k) * prb_sz));
+            hot = e >= energy_exponent_threshold(sec.comp.iq_width);
+          }
+          if (hot && run_start < 0) run_start = k;
+          if (!hot && run_start >= 0) {
+            const int abs_start = sec.start_prb + run_start;
+            const int n = k - run_start;
+            add_interval(acc.data, abs_start, n);
+            if (ssb_sym) add_interval(acc.ssb, abs_start, n);
+            run_start = -1;
+          }
+        }
+      }
+    }
+    pkts.clear();
+  }
+
+  // Clip radiation to the C-plane scheduled coverage and report.
+  RadiationReport rep;
+  for (auto& [port, acc] : port_accum_) {
+    normalize(acc.data);
+    normalize(acc.ssb);
+    normalize(acc.cplane);
+    RadiationReport::PortReport pr;
+    pr.port = port;
+    auto clip = [&acc](const std::vector<PrbInterval>& in,
+                       std::vector<PrbInterval>& out) {
+      for (const auto& e : in) {
+        for (const auto& c : acc.cplane) {
+          const int lo = std::max(e.start, c.start);
+          const int hi = std::min(e.end(), c.end());
+          if (hi > lo) out.push_back({lo, hi - lo});
+        }
+      }
+    };
+    clip(acc.data, pr.data);
+    clip(acc.ssb, pr.ssb_sym);
+    if (!acc.data.empty() && pr.data.empty()) ++stats_.uplane_without_cplane;
+    if (!pr.data.empty() || !pr.ssb_sym.empty())
+      rep.ports.push_back(std::move(pr));
+  }
+  if (!rep.ports.empty()) air_->report_radiation(ru_id_, slot, rep);
+}
+
+void RuModel::synth_payload(std::vector<std::uint8_t>& out, int start_prb,
+                            int n_prb, std::int64_t slot) {
+  const std::size_t prb_sz = cfg_.fh.comp.prb_bytes();
+  out.resize(std::size_t(n_prb) * prb_sz);
+  PrbSamples samples{};
+  for (int k = 0; k < n_prb; ++k) {
+    const double amp = air_->ul_rx_amplitude(ru_id_, slot, start_prb + k);
+    const double peak = amp * 1.732;
+    const std::int32_t a = std::max<std::int32_t>(1, std::int32_t(peak));
+    for (auto& s : samples) {
+      rng_ = rng_ * 1664525u + 1013904223u;
+      s.i = sat16(std::int32_t(rng_ >> 16) % (2 * a + 1) - a);
+      rng_ = rng_ * 1664525u + 1013904223u;
+      s.q = sat16(std::int32_t(rng_ >> 16) % (2 * a + 1) - a);
+    }
+    bfp_compress_prb(IqConstSpan(samples.data(), samples.size()),
+                     cfg_.fh.comp.iq_width,
+                     std::span(out).subspan(std::size_t(k) * prb_sz));
+  }
+}
+
+void RuModel::emit_ul(std::int64_t slot, std::int64_t slot_start_ns) {
+  if (cache_slot_ != slot) return;  // nothing cached for this slot
+  SlotPoint at;
+  {
+    const int spsf = slots_per_subframe(Scs::kHz30);
+    at.slot = std::uint8_t(slot % spsf);
+    const std::int64_t sf = slot / spsf;
+    at.subframe = std::uint8_t(sf % 10);
+    at.frame = std::uint8_t((sf / 10) % 256);
+    at.symbol = 0;
+  }
+
+  std::vector<std::uint8_t> payload;
+  for (const auto& req : ul_requests_) {
+    synth_payload(payload, req.start_prb, req.n_prb, slot);
+    UPlaneMsg hdr;
+    hdr.direction = Direction::Uplink;
+    hdr.at = at;
+    hdr.at.symbol = std::uint8_t(req.symbol);
+    USectionData sec;
+    sec.section_id = 0;
+    sec.start_prb = std::uint16_t(req.start_prb);
+    sec.num_prb = req.n_prb;
+    sec.payload = payload;
+    EthHeader eth;
+    eth.dst = req.reply_to;
+    eth.src = cfg_.ru_mac;
+    eth.has_vlan = true;
+    eth.vlan_id = cfg_.fh.vlan_id;
+    eth.pcp = 7;
+    // Fragment wide payloads at the MTU (deterministic split, so DAS
+    // merging pairs fragment k of every RU).
+    const auto frames =
+        split_sections_for_mtu(std::span(&sec, 1), cfg_.fh);
+    for (const auto& frame_secs : frames) {
+      PacketPtr p = pool_->alloc();
+      if (!p) {
+        ++stats_.pool_exhausted;
+        continue;
+      }
+      const std::size_t len = build_uplane_frame(
+          p->raw(), eth, req.eaxc, seq_[req.eaxc.packed()]++, hdr,
+          std::span(frame_secs.data(), frame_secs.size()), cfg_.fh);
+      if (len == 0) {
+        ++stats_.parse_errors;
+        continue;
+      }
+      p->set_len(len);
+      // The RU can only emit an UL symbol after receiving it over the air.
+      p->rx_time_ns =
+          slot_start_ns + req.symbol * symbol_duration_ns(Scs::kHz30);
+      port_->send(std::move(p));
+      ++stats_.uplane_tx;
+    }
+  }
+
+  // PRACH capture windows.
+  if (!prach_requests_.empty() && air_->is_prach_occasion(slot)) {
+    const auto txs = air_->prach_rx(ru_id_, slot);
+    const Hertz scs = scs_hz(Scs::kHz30);
+    for (const auto& req : prach_requests_) {
+      // Appendix A.1.2: capture window starts at center - offset*SCS/2.
+      const Hertz capture_f0 =
+          cfg_.site.center_freq - Hertz(req.freq_offset) * scs / 2;
+      const std::size_t prb_sz = cfg_.fh.comp.prb_bytes();
+      payload.assign(std::size_t(req.n_prb) * prb_sz, 0);
+      PrbSamples samples{};
+      for (int k = 0; k < req.n_prb; ++k) {
+        const Hertz f_lo = capture_f0 + k * 12 * scs;
+        const Hertz f_hi = f_lo + 12 * scs;
+        double amp = AirModel::kNoiseRms;
+        for (const auto& tx : txs) {
+          const Hertz t_lo = tx.f0;
+          const Hertz t_hi = tx.f0 + Hertz(tx.n_prb) * 12 * scs;
+          if (std::max(f_lo, t_lo) < std::min(f_hi, t_hi))
+            amp = std::sqrt(amp * amp + tx.amp_rms * tx.amp_rms);
+        }
+        const double peak = amp * 1.732;
+        const std::int32_t a = std::max<std::int32_t>(1, std::int32_t(peak));
+        for (auto& s : samples) {
+          rng_ = rng_ * 1664525u + 1013904223u;
+          s.i = sat16(std::int32_t(rng_ >> 16) % (2 * a + 1) - a);
+          rng_ = rng_ * 1664525u + 1013904223u;
+          s.q = sat16(std::int32_t(rng_ >> 16) % (2 * a + 1) - a);
+        }
+        bfp_compress_prb(IqConstSpan(samples.data(), samples.size()),
+                         cfg_.fh.comp.iq_width,
+                         std::span(payload).subspan(std::size_t(k) * prb_sz));
+      }
+      UPlaneMsg hdr;
+      hdr.direction = Direction::Uplink;
+      hdr.filter_index = 1;
+      hdr.at = at;
+      USectionData sec;
+      sec.section_id = req.section_id;
+      sec.start_prb = 0;
+      sec.num_prb = req.n_prb;
+      sec.payload = payload;
+      EthHeader eth;
+      eth.dst = req.reply_to;
+      eth.src = cfg_.ru_mac;
+      eth.has_vlan = true;
+      eth.vlan_id = cfg_.fh.vlan_id;
+      eth.pcp = 7;
+      PacketPtr p = pool_->alloc();
+      if (!p) {
+        ++stats_.pool_exhausted;
+        continue;
+      }
+      const std::size_t len = build_uplane_frame(
+          p->raw(), eth, req.eaxc, seq_[req.eaxc.packed()]++, hdr,
+          std::span(&sec, 1), cfg_.fh);
+      if (len == 0) {
+        ++stats_.parse_errors;
+        continue;
+      }
+      p->set_len(len);
+      p->rx_time_ns = slot_start_ns;
+      port_->send(std::move(p));
+      ++stats_.prach_tx;
+    }
+  }
+}
+
+}  // namespace rb

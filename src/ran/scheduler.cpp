@@ -1,0 +1,163 @@
+#include "ran/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rb {
+
+std::int64_t MacScheduler::dl_backlog(UeId ue) const {
+  auto it = ue_state_.find(ue);
+  return it == ue_state_.end() ? 0 : it->second.dl_backlog;
+}
+
+std::int64_t MacScheduler::ul_backlog(UeId ue) const {
+  auto it = ue_state_.find(ue);
+  return it == ue_state_.end() ? 0 : it->second.ul_backlog;
+}
+
+double MacScheduler::olla_db(UeId ue) const {
+  auto it = ue_state_.find(ue);
+  return it == ue_state_.end() ? 0.0 : it->second.olla_db;
+}
+
+std::vector<DlAlloc> MacScheduler::schedule_dl(
+    const std::vector<std::pair<UeId, UeReport>>& reports, int data_symbols) {
+  std::vector<DlAlloc> out;
+  if (data_symbols <= 0) return out;
+
+  // Candidates: attached UEs with DL backlog.
+  std::vector<std::pair<UeId, UeReport>> active;
+  for (const auto& [ue, rep] : reports) {
+    if (!rep.attached) continue;
+    if (dl_backlog(ue) <= 0) continue;
+    active.push_back({ue, rep});
+  }
+  if (active.empty()) return out;
+
+  // Water-filling fair share: UEs needing less than an equal split free
+  // their remainder for the others (process in ascending need).
+  struct Cand {
+    UeId ue;
+    UeReport rep;
+    double sinr;
+    double bits_per_prb;
+    int needed;
+  };
+  std::vector<Cand> cands;
+  for (const auto& [ue, rep] : active) {
+    UeSched& st = ue_state_[ue];
+    const double sinr = rep.per_layer_sinr_db + st.olla_db;
+    const double se = spectral_efficiency(sinr, rep.rank) * params_.efficiency;
+    if (se <= 0.0) continue;
+    const double bpp = se * rep.rank * kScPerPrb * data_symbols;
+    const int needed = std::max(
+        1, int(std::ceil(double(st.dl_backlog) / bpp)));
+    cands.push_back({ue, rep, sinr, bpp, needed});
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.needed < b.needed; });
+  int next_prb = 0;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    const auto& [ue, rep, sinr, bits_per_prb, needed] = cands[i];
+    UeSched& st = ue_state_[ue];
+    const int remaining_ues = int(cands.size() - i);
+    const int share = (n_prb_ - next_prb) / remaining_ues;
+    int prbs = std::min(needed, std::max(share, 1));
+    if (next_prb + prbs > n_prb_) prbs = n_prb_ - next_prb;
+    if (prbs <= 0) break;
+
+    DlAlloc al;
+    al.ue = ue;
+    al.start_prb = next_prb;
+    al.n_prb = prbs;
+    al.layers = rep.rank;
+    al.assumed_sinr_db = sinr;
+    al.tbs_bits = std::int64_t(bits_per_prb * prbs);
+    out.push_back(al);
+    next_prb += prbs;
+    st.dl_backlog = std::max<std::int64_t>(0, st.dl_backlog - al.tbs_bits);
+    st.rr_slots = 0;
+  }
+  for (auto& [ue, st] : ue_state_) st.rr_slots++;
+  return out;
+}
+
+std::vector<UlAlloc> MacScheduler::schedule_ul(
+    const std::vector<std::pair<UeId, UeReport>>& reports, int data_symbols) {
+  std::vector<UlAlloc> out;
+  if (data_symbols <= 0) return out;
+  std::vector<UeId> active;
+  std::unordered_map<UeId, double> sinr_hint;
+  for (const auto& [ue, rep] : reports) {
+    if (!rep.attached || ul_backlog(ue) <= 0) continue;
+    active.push_back(ue);
+    // UL link quality tracked through its own outer loop on top of a
+    // static estimate: the DU only learns UL SINR from decode results.
+    sinr_hint[ue] = 12.0 + ue_state_[ue].ul_olla_db;
+  }
+  if (active.empty()) return out;
+  // Same water-filling as the downlink.
+  std::sort(active.begin(), active.end(), [this](UeId a, UeId b) {
+    return ue_state_[a].ul_backlog < ue_state_[b].ul_backlog;
+  });
+  int next_prb = 0;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const UeId ue = active[i];
+    UeSched& st = ue_state_[ue];
+    const int share = (n_prb_ - next_prb) / int(active.size() - i);
+    const double se =
+        spectral_efficiency(sinr_hint[ue], /*layers=*/1) * params_.efficiency;
+    if (se <= 0.0) continue;
+    const double bits_per_prb = se * kScPerPrb * data_symbols;
+    const int needed = int(std::ceil(double(st.ul_backlog) / bits_per_prb));
+    int prbs = std::min(std::max(share, 1), std::max(needed, 1));
+    if (next_prb + prbs > n_prb_) prbs = n_prb_ - next_prb;
+    if (prbs <= 0) break;
+    UlAlloc al;
+    al.ue = ue;
+    al.start_prb = next_prb;
+    al.n_prb = prbs;
+    al.assumed_sinr_db = sinr_hint[ue];
+    al.tbs_bits = std::int64_t(bits_per_prb * prbs);
+    out.push_back(al);
+    next_prb += prbs;
+    st.ul_backlog = std::max<std::int64_t>(0, st.ul_backlog - al.tbs_bits);
+  }
+  return out;
+}
+
+void MacScheduler::on_harq_feedback(UeId ue, std::uint64_t new_errors,
+                                    bool scheduled) {
+  UeSched& st = ue_state_[ue];
+  if (new_errors > 0) {
+    st.olla_db -= params_.olla_step_down_db * double(new_errors);
+  } else if (scheduled) {
+    st.olla_db += params_.olla_step_up_db;
+  }
+  st.olla_db = std::clamp(st.olla_db, params_.olla_min_db, params_.olla_max_db);
+}
+
+void MacScheduler::on_ul_feedback(UeId ue, std::uint64_t new_errors,
+                                  bool scheduled) {
+  UeSched& st = ue_state_[ue];
+  if (new_errors > 0) {
+    st.ul_olla_db -= params_.olla_step_down_db * double(new_errors);
+  } else if (scheduled) {
+    st.ul_olla_db += params_.olla_step_up_db;
+  }
+  st.ul_olla_db =
+      std::clamp(st.ul_olla_db, params_.olla_min_db, params_.olla_max_db);
+}
+
+double MacScheduler::ul_olla_db(UeId ue) const {
+  auto it = ue_state_.find(ue);
+  return it == ue_state_.end() ? 0.0 : it->second.ul_olla_db;
+}
+
+void MacScheduler::log_utilization(std::int64_t slot, int dl_prbs,
+                                   int ul_prbs, bool dl_slot, bool ul_slot) {
+  log_.push_back({slot, dl_prbs, ul_prbs, n_prb_, dl_slot, ul_slot});
+  while (log_.size() > kMaxLog) log_.pop_front();
+}
+
+}  // namespace rb

@@ -1,0 +1,103 @@
+// MAC scheduler: allocates PRBs of one cell to backlogged UEs per slot.
+//
+// Equal-share frequency-domain scheduling with link adaptation: MCS is
+// picked from the UE's reported per-layer SINR plus an outer-loop (OLLA)
+// offset that walks down on HARQ failures - this is how the model adapts
+// to interference the CQI cannot see (multi-cell scenarios, Figure 11).
+// The scheduler also keeps the per-slot PRB utilization log that stands in
+// for the MAC scheduling logs the paper uses as ground truth in 6.2.4.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "ran/air.h"
+
+namespace rb {
+
+struct SchedulerParams {
+  // The model does not simulate HARQ retransmission recovery, so the
+  // outer loop only corrects downward (interference the CQI cannot see)
+  // and creeps back up slowly; it never drives the link into failures.
+  double olla_step_up_db = 0.05;
+  double olla_step_down_db = 1.0;
+  double olla_min_db = -15.0;
+  double olla_max_db = 0.0;
+  double efficiency = 1.0;  // vendor implementation-quality factor
+};
+
+/// Ground-truth utilization record for one slot.
+struct PrbUtilSample {
+  std::int64_t slot = 0;
+  int dl_prbs = 0;  // PRBs carrying DL data this slot
+  int ul_prbs = 0;
+  int total_prbs = 0;
+  bool dl_slot = false;
+  bool ul_slot = false;
+};
+
+class MacScheduler {
+ public:
+  MacScheduler(int n_prb, SchedulerParams params = {})
+      : n_prb_(n_prb), params_(params) {}
+
+  void add_dl_backlog(UeId ue, std::int64_t bits) {
+    ue_state_[ue].dl_backlog += bits;
+  }
+  void add_ul_backlog(UeId ue, std::int64_t bits) {
+    ue_state_[ue].ul_backlog += bits;
+  }
+  std::int64_t dl_backlog(UeId ue) const;
+  std::int64_t ul_backlog(UeId ue) const;
+  /// Drop all queued traffic (experiment boundary between traffic mixes).
+  void clear_backlogs() {
+    for (auto& [_, st] : ue_state_) st.dl_backlog = st.ul_backlog = 0;
+  }
+
+  /// Build DL allocations for one slot. `reports` supplies link quality of
+  /// the attached UEs; `data_symbols` is the slot's usable symbol count.
+  std::vector<DlAlloc> schedule_dl(
+      const std::vector<std::pair<UeId, UeReport>>& reports,
+      int data_symbols);
+
+  /// UL counterpart (SISO).
+  std::vector<UlAlloc> schedule_ul(
+      const std::vector<std::pair<UeId, UeReport>>& reports,
+      int data_symbols);
+
+  /// HARQ feedback: `new_errors` failures observed for `ue` since last
+  /// slot; adjusts the OLLA offset.
+  void on_harq_feedback(UeId ue, std::uint64_t new_errors, bool scheduled);
+  /// Uplink counterpart: adjusts the UL link-adaptation offset (the DU
+  /// only learns UL quality from decode results).
+  void on_ul_feedback(UeId ue, std::uint64_t new_errors, bool scheduled);
+
+  /// Record the slot's utilization ground truth.
+  void log_utilization(std::int64_t slot, int dl_prbs, int ul_prbs,
+                       bool dl_slot, bool ul_slot);
+  const std::deque<PrbUtilSample>& utilization_log() const { return log_; }
+  void clear_utilization_log() { log_.clear(); }
+
+  double olla_db(UeId ue) const;
+  double ul_olla_db(UeId ue) const;
+  int n_prb() const { return n_prb_; }
+
+ private:
+  struct UeSched {
+    std::int64_t dl_backlog = 0;
+    std::int64_t ul_backlog = 0;
+    double olla_db = 0.0;
+    double ul_olla_db = 0.0;
+    int rr_slots = 0;  // round-robin fairness counter
+  };
+
+  int n_prb_;
+  SchedulerParams params_;
+  std::unordered_map<UeId, UeSched> ue_state_;
+  std::deque<PrbUtilSample> log_;
+  static constexpr std::size_t kMaxLog = 4096;
+};
+
+}  // namespace rb

@@ -1,0 +1,69 @@
+#include "ran/tdd.h"
+
+namespace rb {
+
+TddPattern TddPattern::from_string(const std::string& s) {
+  TddPattern p;
+  for (char c : s) {
+    switch (c) {
+      case 'D': case 'd': p.slots.push_back(SlotType::Downlink); break;
+      case 'U': case 'u': p.slots.push_back(SlotType::Uplink); break;
+      case 'S': case 's': p.slots.push_back(SlotType::Special); break;
+      default: break;  // ignore separators
+    }
+  }
+  if (p.slots.empty()) p.slots.push_back(SlotType::Downlink);
+  return p;
+}
+
+int TddPattern::dl_symbols(std::int64_t slot_index) const {
+  switch (type_at(slot_index)) {
+    case SlotType::Downlink: return kSymbolsPerSlot;
+    case SlotType::Special: return special_dl_symbols;
+    case SlotType::Uplink: return 0;
+  }
+  return 0;
+}
+
+int TddPattern::ul_symbols(std::int64_t slot_index) const {
+  switch (type_at(slot_index)) {
+    case SlotType::Uplink: return kSymbolsPerSlot;
+    case SlotType::Special: return special_ul_symbols;
+    case SlotType::Downlink: return 0;
+  }
+  return 0;
+}
+
+double TddPattern::dl_symbol_fraction() const {
+  std::int64_t dl = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) dl += dl_symbols(std::int64_t(i));
+  return double(dl) / double(slots.size() * kSymbolsPerSlot);
+}
+
+double TddPattern::ul_symbol_fraction() const {
+  std::int64_t ul = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) ul += ul_symbols(std::int64_t(i));
+  return double(ul) / double(slots.size() * kSymbolsPerSlot);
+}
+
+double TddPattern::dl_symbols_per_second(Scs scs) const {
+  const double slots_per_s = 1000.0 * slots_per_subframe(scs);
+  return slots_per_s * kSymbolsPerSlot * dl_symbol_fraction();
+}
+
+double TddPattern::ul_symbols_per_second(Scs scs) const {
+  const double slots_per_s = 1000.0 * slots_per_subframe(scs);
+  return slots_per_s * kSymbolsPerSlot * ul_symbol_fraction();
+}
+
+std::string TddPattern::str() const {
+  std::string s;
+  for (auto t : slots) {
+    s += (t == SlotType::Downlink ? 'D' : t == SlotType::Uplink ? 'U' : 'S');
+  }
+  return s;
+}
+
+TddPattern default_tdd() { return TddPattern::from_string("DDDSU"); }
+
+}  // namespace rb

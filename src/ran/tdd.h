@@ -1,0 +1,56 @@
+// TDD slot patterns.
+//
+// A pattern is a repeating sequence of slot types. The special slot's
+// symbol split is modeled with fixed DL/guard/UL symbol counts. The paper
+// notes TDD pattern is one of the few per-vendor configuration differences
+// the middleboxes had to absorb.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace rb {
+
+enum class SlotType : std::uint8_t { Downlink, Uplink, Special };
+
+struct TddPattern {
+  std::vector<SlotType> slots;  // repeating pattern
+  int special_dl_symbols = 10;
+  int special_guard_symbols = 2;
+  int special_ul_symbols = 2;
+
+  /// "DDDSU"-style string constructor helper.
+  static TddPattern from_string(const std::string& s);
+
+  SlotType type_at(std::int64_t slot_index) const {
+    return slots[std::size_t(slot_index % std::int64_t(slots.size()))];
+  }
+  bool is_dl(std::int64_t slot_index) const {
+    return type_at(slot_index) != SlotType::Uplink;
+  }
+  bool is_ul(std::int64_t slot_index) const {
+    return type_at(slot_index) != SlotType::Downlink;
+  }
+
+  /// DL data symbols available in a given slot (0 for UL slots).
+  int dl_symbols(std::int64_t slot_index) const;
+  /// UL data symbols available in a given slot (0 for DL slots).
+  int ul_symbols(std::int64_t slot_index) const;
+
+  /// Long-run fraction of symbols usable for DL / UL data.
+  double dl_symbol_fraction() const;
+  double ul_symbol_fraction() const;
+
+  /// Average DL / UL data symbols per second at a numerology.
+  double dl_symbols_per_second(Scs scs) const;
+  double ul_symbols_per_second(Scs scs) const;
+
+  std::string str() const;
+};
+
+/// The band-78 default the testbed stacks use.
+TddPattern default_tdd();
+
+}  // namespace rb

@@ -1,0 +1,41 @@
+#include "ran/vendor.h"
+
+namespace rb {
+
+VendorProfile srsran_profile() {
+  VendorProfile p;
+  p.name = "srsran";
+  p.cplane_per_symbol = false;
+  p.iq_width = 9;
+  p.uplane_has_comp_hdr = true;
+  p.vlan_id = 6;
+  p.tdd = TddPattern::from_string("DDDSU");
+  p.efficiency = 1.0;
+  return p;
+}
+
+VendorProfile capgemini_profile() {
+  VendorProfile p;
+  p.name = "capgemini";
+  p.cplane_per_symbol = true;
+  p.iq_width = 9;
+  p.uplane_has_comp_hdr = true;
+  p.vlan_id = 2;
+  p.tdd = TddPattern::from_string("DDDSUUDDDD");
+  p.efficiency = 1.04;
+  return p;
+}
+
+VendorProfile radisys_profile() {
+  VendorProfile p;
+  p.name = "radisys";
+  p.cplane_per_symbol = false;
+  p.iq_width = 14;
+  p.uplane_has_comp_hdr = false;
+  p.vlan_id = 10;
+  p.tdd = TddPattern::from_string("DDDDDDDSUU");
+  p.efficiency = 0.97;
+  return p;
+}
+
+}  // namespace rb

@@ -1,0 +1,34 @@
+// Vendor profiles: the per-stack framing/config differences the paper's
+// interoperability experiments absorb with "only small configuration
+// parameter changes" (section 6.2).
+//
+// The three profiles model the observable fronthaul differences between
+// srsRAN, CapGemini (FlexRAN L1) and Radisys: C-plane granularity, BFP
+// mantissa width, U-plane compression header presence, TDD pattern, and an
+// implementation-quality factor that scales achievable throughput (the
+// paper notes vendor-dependent throughput differences).
+#pragma once
+
+#include <string>
+
+#include "ran/tdd.h"
+
+namespace rb {
+
+struct VendorProfile {
+  std::string name = "srsran";
+  bool cplane_per_symbol = false;  // one C-plane per slot vs per symbol
+  int iq_width = 9;                // BFP mantissa bits
+  bool uplane_has_comp_hdr = true;
+  std::uint16_t vlan_id = 6;
+  TddPattern tdd = default_tdd();
+  double efficiency = 1.0;  // scales the rate model's coding efficiency
+
+  friend bool operator==(const VendorProfile&, const VendorProfile&) = default;
+};
+
+VendorProfile srsran_profile();
+VendorProfile capgemini_profile();
+VendorProfile radisys_profile();
+
+}  // namespace rb

@@ -1,0 +1,6 @@
+// cost.h is header-only.
+#include "sim/cost.h"
+
+namespace rb {
+// Intentionally empty.
+}  // namespace rb

@@ -1,0 +1,47 @@
+// CapEx model for the Appendix A.2 cost comparison.
+//
+// Itemizes the Cambridge deployment's commodity bill of materials
+// (~$60,000 for 16 RUs across four floors) against a conventional DAS
+// quote at a conservative $2 per square foot.
+#pragma once
+
+namespace rb {
+
+struct CostModel {
+  // Commodity RANBooster deployment (Appendix A.2).
+  int n_rus = 16;
+  double ru_unit_usd = 2'200.0;
+  double cabling_and_building_usd = 12'000.0;
+  double switch_usd = 6'000.0;
+  double grandmaster_usd = 3'500.0;
+  double nic_usd = 1'500.0;
+  int n_nics = 2;
+  double server_usd = 0.0;          // servers host the DU anyway; only the
+  double middlebox_core_usd = 150.0;  // 8 cores for middleboxes are extra
+  int middlebox_cores = 8;
+
+  // Conventional DAS reference pricing.
+  double das_usd_per_sqft = 2.0;
+  /// Vendor margin applied to the RANBooster BOM for a fair product-price
+  /// comparison.
+  double vendor_margin = 0.50;
+
+  double ranbooster_bom_usd() const {
+    return n_rus * ru_unit_usd + cabling_and_building_usd + switch_usd +
+           grandmaster_usd + n_nics * nic_usd + server_usd +
+           middlebox_cores * middlebox_core_usd;
+  }
+  double ranbooster_price_usd() const {
+    return ranbooster_bom_usd() * (1.0 + vendor_margin);
+  }
+  double conventional_das_usd(double sqft) const {
+    return sqft * das_usd_per_sqft;
+  }
+  /// Percent saved vs a conventional DAS for a given covered area.
+  double savings_pct(double sqft) const {
+    const double das = conventional_das_usd(sqft);
+    return 100.0 * (das - ranbooster_price_usd()) / das;
+  }
+};
+
+}  // namespace rb

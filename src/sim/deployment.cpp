@@ -1,0 +1,311 @@
+#include "sim/deployment.h"
+
+namespace rb {
+
+Deployment::Deployment(ChannelParams channel, Scs scs)
+    : air(ChannelModel(channel), scs), engine(air, scs) {
+  engine.set_traffic_hook([this](std::int64_t slot) { traffic.on_slot(slot); });
+}
+
+Port& Deployment::new_port(const std::string& name) {
+  ports.push_back(std::make_unique<Port>(name));
+  return *ports.back();
+}
+
+EmbeddedSwitch& Deployment::new_switch(const std::string& name) {
+  switches.push_back(std::make_unique<EmbeddedSwitch>(name));
+  return *switches.back();
+}
+
+Deployment::DuHandle Deployment::add_du(CellConfig cell,
+                                        const VendorProfile& vendor,
+                                        std::uint8_t du_index) {
+  cell.finalize();
+  cell.tdd = vendor.tdd;
+  // PRACH occasions must land on a full uplink slot of the vendor's TDD
+  // pattern (and the 20-slot period must stay aligned with it).
+  for (std::size_t s = 0; s < cell.tdd.slots.size(); ++s) {
+    if (cell.tdd.ul_symbols(std::int64_t(s)) == kSymbolsPerSlot) {
+      cell.prach.slot_offset = int(s);
+      break;
+    }
+  }
+  const CellId cid = air.add_cell(cell);
+  DuConfig cfg;
+  cfg.cell = cell;
+  cfg.vendor = vendor;
+  cfg.du_mac = MacAddr::du(du_index);
+  cfg.ru_mac = MacAddr::ru(du_index);  // logical; middleboxes re-steer
+  cfg.du_id = du_index;
+  Port& port = new_port("du" + std::to_string(du_index));
+  dus.push_back(std::make_unique<DuModel>(cfg, air, cid, port));
+  engine.add_du(*dus.back());
+  DuHandle h;
+  h.du = dus.back().get();
+  h.port = &port;
+  h.cell = cid;
+  h.index = int(dus.size()) - 1;
+  return h;
+}
+
+Deployment::RuHandle Deployment::add_ru(const RuSite& site,
+                                        std::uint8_t ru_index,
+                                        const FhContext& fh) {
+  const RuId rid = air.add_ru(site);
+  RuModelConfig cfg;
+  cfg.site = site;
+  cfg.ru_mac = MacAddr::ru(ru_index);
+  cfg.fh = fh;
+  cfg.fh.carrier_prbs = prbs_for_bandwidth(site.bandwidth, Scs::kHz30);
+  Port& port = new_port("ru" + std::to_string(ru_index));
+  rus.push_back(std::make_unique<RuModel>(cfg, air, rid, port));
+  engine.add_ru(*rus.back());
+  RuHandle h;
+  h.ru = rus.back().get();
+  h.port = &port;
+  h.id = rid;
+  h.mac = cfg.ru_mac;
+  h.index = int(rus.size()) - 1;
+  return h;
+}
+
+void Deployment::connect_direct(DuHandle& du, RuHandle& ru, int prb_offset,
+                                std::vector<LayerMap> layers) {
+  Port::connect(*du.port, *ru.port, /*latency_ns=*/1'000);
+  air.assign_ru(du.cell, ru.id, prb_offset, std::move(layers));
+  // The DU addresses MacAddr::ru(du_index); point it at the real RU.
+  // (Direct wire: addressing is checked by the RU only via eth parse.)
+}
+
+int Deployment::prb_offset_in_ru(const CellConfig& du_cell, const RuSite& ru) {
+  const int ru_prbs = prbs_for_bandwidth(ru.bandwidth, Scs::kHz30);
+  const Hertz ru_prb0 = ru.center_freq - 12 * scs_hz(Scs::kHz30) * ru_prbs / 2;
+  return int((du_cell.prb0_freq() - ru_prb0) / (12 * scs_hz(Scs::kHz30)));
+}
+
+MiddleboxRuntime& Deployment::add_das(DuHandle& du,
+                                      const std::vector<RuHandle*>& ru_list,
+                                      DriverKind driver, int workers) {
+  DasConfig cfg;
+  cfg.du_mac = du.du->config().du_mac;
+  for (auto* r : ru_list) cfg.ru_macs.push_back(r->mac);
+  auto app = std::make_unique<DasMiddlebox>(cfg);
+
+  MiddleboxRuntime::Config rc;
+  rc.name = "das" + std::to_string(runtimes.size());
+  rc.fh = du.du->fh();
+  rc.driver = driver;
+  rc.n_workers = workers;
+  auto rt = std::make_unique<MiddleboxRuntime>(rc, *app);
+
+  Port& north = new_port(rc.name + ".north");
+  Port& south = new_port(rc.name + ".south");
+  rt->add_port("north", north);  // index 0 == DasMiddlebox::kNorth
+  rt->add_port("south", south);
+  Port::connect(*du.port, north, 1'000);
+
+  EmbeddedSwitch& sw = new_switch(rc.name + ".fabric");
+  Port& sw_mb = sw.add_port("mb");
+  Port::connect(south, sw_mb, 500);
+  sw.add_static_entry(cfg.du_mac, sw_mb);
+  for (auto* r : ru_list) {
+    Port& sw_ru = sw.add_port("ru" + std::to_string(r->index));
+    Port::connect(*r->port, sw_ru, 500);
+    sw.add_static_entry(r->mac, sw_ru);
+    air.assign_ru(du.cell, r->id, /*prb_offset=*/0);
+  }
+
+  engine.add_middlebox(*rt);
+  apps.push_back(std::move(app));
+  runtimes.push_back(std::move(rt));
+  return *runtimes.back();
+}
+
+MiddleboxRuntime& Deployment::add_dmimo(DuHandle& du,
+                                        const std::vector<RuHandle*>& ru_list,
+                                        DriverKind driver, bool copy_ssb) {
+  DmimoConfig cfg;
+  cfg.du_mac = du.du->config().du_mac;
+  cfg.copy_ssb = copy_ssb;
+  const auto& ssb = du.du->config().cell.ssb;
+  cfg.ssb_start_prb = ssb.start_prb;
+  cfg.ssb_n_prb = ssb.n_prb;
+  cfg.ssb_period_slots = ssb.period_slots;
+  cfg.ssb_first_symbol = ssb.first_symbol;
+  cfg.ssb_n_symbols = ssb.n_symbols;
+  int base = 0;
+  for (auto* r : ru_list) {
+    const int ants = air.ru(r->id).n_antennas;
+    cfg.rus.push_back({r->mac, ants});
+    std::vector<LayerMap> layers;
+    for (int a = 0; a < ants && base + a < du.du->config().cell.max_layers;
+         ++a)
+      layers.push_back({base + a, a});
+    air.assign_ru(du.cell, r->id, 0, std::move(layers));
+    base += ants;
+  }
+  auto app = std::make_unique<DmimoMiddlebox>(cfg);
+
+  MiddleboxRuntime::Config rc;
+  rc.name = "dmimo" + std::to_string(runtimes.size());
+  rc.fh = du.du->fh();
+  rc.driver = driver;
+  auto rt = std::make_unique<MiddleboxRuntime>(rc, *app);
+
+  Port& north = new_port(rc.name + ".north");
+  Port& south = new_port(rc.name + ".south");
+  rt->add_port("north", north);
+  rt->add_port("south", south);
+  Port::connect(*du.port, north, 1'000);
+
+  EmbeddedSwitch& sw = new_switch(rc.name + ".fabric");
+  Port& sw_mb = sw.add_port("mb");
+  Port::connect(south, sw_mb, 500);
+  sw.add_static_entry(cfg.du_mac, sw_mb);
+  for (auto* r : ru_list) {
+    Port& sw_ru = sw.add_port("ru" + std::to_string(r->index));
+    Port::connect(*r->port, sw_ru, 500);
+    sw.add_static_entry(r->mac, sw_ru);
+  }
+
+  engine.add_middlebox(*rt);
+  apps.push_back(std::move(app));
+  runtimes.push_back(std::move(rt));
+  return *runtimes.back();
+}
+
+MiddleboxRuntime& Deployment::add_rushare(const std::vector<DuHandle*>& du_list,
+                                          RuHandle& ru, DriverKind driver,
+                                          int shift_sc) {
+  RuShareConfig cfg;
+  cfg.ru_mac = ru.mac;
+  const RuSite& site = air.ru(ru.id);
+  cfg.ru_n_prb = prbs_for_bandwidth(site.bandwidth, Scs::kHz30);
+  cfg.ru_center_freq = site.center_freq;
+  cfg.shift_sc = shift_sc;
+  for (auto* d : du_list) {
+    ShareDu sd;
+    sd.mac = d->du->config().du_mac;
+    sd.du_id = d->du->config().du_id;
+    sd.n_prb = d->du->config().cell.n_prb();
+    sd.center_freq = d->du->config().cell.center_freq;
+    sd.prb_offset = prb_offset_in_ru(d->du->config().cell, site);
+    cfg.dus.push_back(sd);
+    air.assign_ru(d->cell, ru.id, sd.prb_offset);
+  }
+  auto app = std::make_unique<RuShareMiddlebox>(cfg);
+
+  MiddleboxRuntime::Config rc;
+  rc.name = "rushare" + std::to_string(runtimes.size());
+  // South-side framing: the RU's carrier defines numPrbu==0 semantics.
+  rc.fh = du_list.front()->du->fh();
+  rc.fh.carrier_prbs = cfg.ru_n_prb;
+  rc.driver = driver;
+  auto rt = std::make_unique<MiddleboxRuntime>(rc, *app);
+
+  Port& south = new_port(rc.name + ".south");
+  rt->add_port("south", south);  // index 0 == RuShareMiddlebox::kSouth
+  Port::connect(south, *ru.port, 1'000);
+  for (std::size_t i = 0; i < du_list.size(); ++i) {
+    Port& north = new_port(rc.name + ".north" + std::to_string(i));
+    // Each DU link is parsed with that DU's own carrier provisioning.
+    rt->add_port("north" + std::to_string(i), north, du_list[i]->du->fh());
+    Port::connect(*du_list[i]->port, north, 1'000);
+  }
+
+  engine.add_middlebox(*rt);
+  apps.push_back(std::move(app));
+  runtimes.push_back(std::move(rt));
+  return *runtimes.back();
+}
+
+MiddleboxRuntime& Deployment::add_prbmon(DuHandle& du, RuHandle& ru,
+                                         DriverKind driver) {
+  PrbMonConfig cfg;
+  cfg.n_prb = du.du->config().cell.n_prb();
+  auto app = std::make_unique<PrbMonitorMiddlebox>(cfg);
+
+  MiddleboxRuntime::Config rc;
+  rc.name = "prbmon" + std::to_string(runtimes.size());
+  rc.fh = du.du->fh();
+  rc.driver = driver;
+  auto rt = std::make_unique<MiddleboxRuntime>(rc, *app);
+
+  Port& north = new_port(rc.name + ".north");
+  Port& south = new_port(rc.name + ".south");
+  rt->add_port("north", north);
+  rt->add_port("south", south);
+  Port::connect(*du.port, north, 1'000);
+  Port::connect(south, *ru.port, 1'000);
+  air.assign_ru(du.cell, ru.id, 0);
+
+  engine.add_middlebox(*rt);
+  apps.push_back(std::move(app));
+  runtimes.push_back(std::move(rt));
+  return *runtimes.back();
+}
+
+MiddleboxRuntime& Deployment::add_failover(DuHandle& primary,
+                                           DuHandle& standby, RuHandle& ru,
+                                           DriverKind driver) {
+  FailoverConfig cfg;
+  cfg.ru_mac = ru.mac;
+  cfg.primary_du_mac = primary.du->config().du_mac;
+  cfg.standby_du_mac = standby.du->config().du_mac;
+  auto app = std::make_unique<FailoverMiddlebox>(cfg);
+
+  MiddleboxRuntime::Config rc;
+  rc.name = "failover" + std::to_string(runtimes.size());
+  rc.fh = primary.du->fh();
+  rc.driver = driver;
+  auto rt = std::make_unique<MiddleboxRuntime>(rc, *app);
+
+  Port& south = new_port(rc.name + ".south");
+  Port& n_pri = new_port(rc.name + ".primary");
+  Port& n_sby = new_port(rc.name + ".standby");
+  rt->add_port("south", south);     // FailoverMiddlebox::kSouth
+  rt->add_port("primary", n_pri);   // kPrimary
+  rt->add_port("standby", n_sby);   // kStandby
+  Port::connect(south, *ru.port, 1'000);
+  Port::connect(*primary.port, n_pri, 1'000);
+  Port::connect(*standby.port, n_sby, 1'000);
+  // Both cells (same PCI, warm standby) radiate via the same RU.
+  air.assign_ru(primary.cell, ru.id, 0);
+  air.assign_ru(standby.cell, ru.id, 0);
+
+  engine.add_middlebox(*rt);
+  apps.push_back(std::move(app));
+  runtimes.push_back(std::move(rt));
+  return *runtimes.back();
+}
+
+UeId Deployment::add_ue(const Position& pos, DuHandle* du, double dl_mbps,
+                        double ul_mbps, int pci_lock, int max_layers) {
+  UeConfig cfg;
+  cfg.pos = pos;
+  cfg.pci_lock = pci_lock;
+  cfg.max_layers = max_layers;
+  const UeId ue = air.add_ue(cfg);
+  if (du && (dl_mbps > 0 || ul_mbps > 0))
+    traffic.set_flow(*du->du, ue, dl_mbps, ul_mbps);
+  return ue;
+}
+
+void Deployment::measure(int slots) {
+  air.reset_counters();
+  const std::int64_t t0 = engine.elapsed_ns();
+  engine.run_slots(slots);
+  measure_window_ns_ = engine.elapsed_ns() - t0;
+}
+
+double Deployment::dl_mbps(UeId ue) const {
+  if (measure_window_ns_ <= 0) return 0.0;
+  return double(air.dl_bits(ue)) * 1000.0 / double(measure_window_ns_);
+}
+
+double Deployment::ul_mbps(UeId ue) const {
+  if (measure_window_ns_ <= 0) return 0.0;
+  return double(air.ul_bits(ue)) * 1000.0 / double(measure_window_ns_);
+}
+
+}  // namespace rb

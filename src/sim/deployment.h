@@ -1,0 +1,125 @@
+// Deployment builder: assembles DUs, RUs, middleboxes, fabric and UEs into
+// runnable topologies, owning every object. This is the experiment-facing
+// API: each paper scenario (baseline cell, DAS floor, dMIMO, shared RU,
+// chained services) is a few builder calls.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/chain.h"
+#include "core/middlebox.h"
+#include "mb/das.h"
+#include "mb/dmimo.h"
+#include "mb/failover.h"
+#include "mb/prbmon.h"
+#include "mb/rushare.h"
+#include "net/switch.h"
+#include "ran/engine.h"
+#include "sim/floorplan.h"
+#include "sim/traffic.h"
+
+namespace rb {
+
+class Deployment {
+ public:
+  explicit Deployment(ChannelParams channel = {}, Scs scs = Scs::kHz30);
+
+  struct DuHandle {
+    DuModel* du = nullptr;
+    Port* port = nullptr;
+    CellId cell = -1;
+    int index = -1;
+  };
+  struct RuHandle {
+    RuModel* ru = nullptr;
+    Port* port = nullptr;
+    RuId id = -1;
+    MacAddr mac{};
+    int index = -1;
+  };
+
+  // --- building blocks ------------------------------------------------
+  /// Create a DU + cell. The cell is registered with the AirModel; the
+  /// fronthaul context is derived from the vendor profile.
+  DuHandle add_du(CellConfig cell, const VendorProfile& vendor,
+                  std::uint8_t du_index);
+
+  /// Create an RU at a site. `fh` must match the driving DU's framing.
+  RuHandle add_ru(const RuSite& site, std::uint8_t ru_index,
+                  const FhContext& fh);
+
+  /// Plain deployment: wire DU <-> RU directly and assign the RU to the
+  /// cell (identity layer map, given PRB offset).
+  void connect_direct(DuHandle& du, RuHandle& ru, int prb_offset = 0,
+                      std::vector<LayerMap> layers = {});
+
+  /// DAS middlebox between one DU and a set of RUs (paper 4.1).
+  MiddleboxRuntime& add_das(DuHandle& du, const std::vector<RuHandle*>& rus,
+                            DriverKind driver = DriverKind::Dpdk,
+                            int workers = 1);
+
+  /// dMIMO middlebox combining RUs into one virtual RU (paper 4.2).
+  MiddleboxRuntime& add_dmimo(DuHandle& du, const std::vector<RuHandle*>& rus,
+                              DriverKind driver = DriverKind::Dpdk,
+                              bool copy_ssb = true);
+
+  /// RU-sharing middlebox: several DUs over one RU (paper 4.3).
+  /// PRB offsets are derived from the DU/RU center frequencies (aligned
+  /// grids, Appendix A.1.1) unless `shift_sc` forces misalignment.
+  MiddleboxRuntime& add_rushare(const std::vector<DuHandle*>& dus,
+                                RuHandle& ru,
+                                DriverKind driver = DriverKind::Dpdk,
+                                int shift_sc = 0);
+
+  /// Transparent PRB monitor between a DU and an RU (paper 4.4).
+  MiddleboxRuntime& add_prbmon(DuHandle& du, RuHandle& ru,
+                               DriverKind driver = DriverKind::Dpdk);
+
+  /// Resilience middlebox: primary/standby DU in front of one RU (paper
+  /// 8.1). The standby runs the same cell (state replication out of
+  /// scope); the middlebox fails over on fronthaul-heartbeat loss.
+  MiddleboxRuntime& add_failover(DuHandle& primary, DuHandle& standby,
+                                 RuHandle& ru,
+                                 DriverKind driver = DriverKind::Dpdk);
+
+  /// UE with optional offered traffic through a DU.
+  UeId add_ue(const Position& pos, DuHandle* du = nullptr,
+              double dl_mbps = 0, double ul_mbps = 0, int pci_lock = -1,
+              int max_layers = 4);
+
+  // --- running & measuring ---------------------------------------------
+  /// Warm up until all UEs attach (SSB + PRACH through the datapath).
+  bool attach_all(int max_slots = 600) {
+    return engine.run_until_attached(max_slots);
+  }
+  /// Reset throughput counters, run `slots`, remember the window.
+  void measure(int slots);
+  double dl_mbps(UeId ue) const;
+  double ul_mbps(UeId ue) const;
+
+  /// PRB offset of a DU's grid inside an RU's grid (aligned case).
+  static int prb_offset_in_ru(const CellConfig& du_cell, const RuSite& ru);
+
+  // --- members (public on purpose: experiments poke at everything) -----
+  AirModel air;
+  SlotEngine engine;
+  TrafficGen traffic;
+  Floorplan plan;
+
+  std::vector<std::unique_ptr<Port>> ports;
+  std::vector<std::unique_ptr<EmbeddedSwitch>> switches;
+  std::vector<std::unique_ptr<DuModel>> dus;
+  std::vector<std::unique_ptr<RuModel>> rus;
+  std::vector<std::unique_ptr<MiddleboxApp>> apps;
+  std::vector<std::unique_ptr<MiddleboxRuntime>> runtimes;
+
+  Port& new_port(const std::string& name);
+  EmbeddedSwitch& new_switch(const std::string& name);
+
+ private:
+  std::int64_t measure_window_ns_ = 0;
+};
+
+}  // namespace rb

@@ -1,0 +1,21 @@
+#include "sim/floorplan.h"
+
+namespace rb {
+
+std::vector<Position> Floorplan::walk_route(int floor, int nx, int ny) const {
+  std::vector<Position> route;
+  route.reserve(std::size_t(nx) * std::size_t(ny));
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      const int x_idx = (iy % 2 == 0) ? ix : nx - 1 - ix;  // serpentine
+      Position p;
+      p.x = (double(x_idx) + 0.5) * width_m / double(nx);
+      p.y = (double(iy) + 0.5) * depth_m / double(ny);
+      p.floor = floor;
+      route.push_back(p);
+    }
+  }
+  return route;
+}
+
+}  // namespace rb

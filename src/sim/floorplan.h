@@ -1,0 +1,44 @@
+// The evaluation building: five 50.9 m x 20.9 m floors with four
+// ceiling-mounted RUs each (paper section 6.1, Figure 9a).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "ran/channel.h"
+
+namespace rb {
+
+struct Floorplan {
+  double width_m = 50.9;
+  double depth_m = 20.9;
+  int floors = 5;
+  int rus_per_floor = 4;
+
+  /// Ceiling RU placement: evenly spaced along the long axis, centered in
+  /// depth - the placement that gives dead-spot-free coverage (6.3.1).
+  Position ru_position(int floor, int idx) const {
+    Position p;
+    p.x = (double(idx) + 0.5) * width_m / double(rus_per_floor);
+    p.y = depth_m / 2.0;
+    p.floor = floor;
+    return p;
+  }
+
+  /// A position `d` meters from an RU (along x, clamped into the floor).
+  Position near_ru(int floor, int idx, double d) const {
+    Position p = ru_position(floor, idx);
+    p.x = std::min(width_m - 0.5, std::max(0.5, p.x + d));
+    return p;
+  }
+
+  /// Serpentine walk route across one floor (the Figure 11 measurement
+  /// walk): `nx * ny` grid points covering the floor.
+  std::vector<Position> walk_route(int floor, int nx = 16, int ny = 4) const;
+
+  double area_sqft() const {
+    return width_m * depth_m * 10.7639 * double(floors);
+  }
+};
+
+}  // namespace rb

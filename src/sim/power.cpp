@@ -1,0 +1,6 @@
+// power.h is header-only.
+#include "sim/power.h"
+
+namespace rb {
+// Intentionally empty.
+}  // namespace rb

@@ -1,0 +1,30 @@
+// Server power model (paper section 6.3.2, Figure 14).
+//
+// Linear model: chassis idle + per-core draw at full or reduced frequency.
+// Calibrated to the testbed's HPE DL110 readings: two servers hosting five
+// dMIMO cells draw ~400 W; consolidating to a single cell lets one server
+// shut down and half the remaining cores run at low frequency, ~180 W.
+#pragma once
+
+namespace rb {
+
+struct PowerModel {
+  double server_idle_w = 60.0;
+  double core_active_w = 7.8;   // full-frequency busy core
+  double core_low_w = 2.6;      // low-frequency core
+  int cores_per_server = 32;
+
+  /// Power of one powered-on server with the given core states; cores not
+  /// listed are parked (negligible draw).
+  double server_power_w(int active_cores, int low_cores = 0) const {
+    return server_idle_w + active_cores * core_active_w +
+           low_cores * core_low_w;
+  }
+
+  /// Cores a vDU of one cell needs (L1+L2 pipeline).
+  static constexpr int kCoresPerCell = 6;
+  /// Cores per DPDK middlebox instance.
+  static constexpr int kCoresPerMiddlebox = 1;
+};
+
+}  // namespace rb

@@ -1,0 +1,38 @@
+#include "sim/traffic.h"
+
+namespace rb {
+
+void TrafficGen::set_flow(DuModel& du, UeId ue, double dl_mbps,
+                          double ul_mbps) {
+  for (auto& f : flows_) {
+    if (f.du == &du && f.ue == ue) {
+      f.dl_bits_per_slot = dl_mbps * double(slot_ns_) / 1000.0;
+      f.ul_bits_per_slot = ul_mbps * double(slot_ns_) / 1000.0;
+      return;
+    }
+  }
+  Flow f{&du, ue, dl_mbps * double(slot_ns_) / 1000.0,
+         ul_mbps * double(slot_ns_) / 1000.0, 0, 0};
+  flows_.push_back(f);
+}
+
+void TrafficGen::clear() { flows_.clear(); }
+
+void TrafficGen::on_slot(std::int64_t) {
+  for (auto& f : flows_) {
+    f.dl_carry += f.dl_bits_per_slot;
+    f.ul_carry += f.ul_bits_per_slot;
+    const auto dl = std::int64_t(f.dl_carry);
+    const auto ul = std::int64_t(f.ul_carry);
+    if (dl > 0) {
+      f.du->add_dl_traffic(f.ue, dl);
+      f.dl_carry -= double(dl);
+    }
+    if (ul > 0) {
+      f.du->add_ul_traffic(f.ue, ul);
+      f.ul_carry -= double(ul);
+    }
+  }
+}
+
+}  // namespace rb

@@ -1,0 +1,37 @@
+// Constant-bitrate traffic generation (the iperf UDP stand-in).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ran/du.h"
+
+namespace rb {
+
+class TrafficGen {
+ public:
+  explicit TrafficGen(Scs scs = Scs::kHz30)
+      : slot_ns_(slot_duration_ns(scs)) {}
+
+  /// Offer `dl_mbps` downlink and `ul_mbps` uplink load for a UE served by
+  /// `du`. Replaces any previous flow for the same (du, ue).
+  void set_flow(DuModel& du, UeId ue, double dl_mbps, double ul_mbps);
+  void clear();
+
+  /// Engine traffic hook: inject one slot's worth of offered bits.
+  void on_slot(std::int64_t slot);
+
+ private:
+  struct Flow {
+    DuModel* du;
+    UeId ue;
+    double dl_bits_per_slot;
+    double ul_bits_per_slot;
+    double dl_carry = 0;  // fractional-bit accumulation
+    double ul_carry = 0;
+  };
+  std::int64_t slot_ns_;
+  std::vector<Flow> flows_;
+};
+
+}  // namespace rb

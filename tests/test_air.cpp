@@ -1,0 +1,271 @@
+// Unit tests for the AirModel: attachment state machine, radiation-gated
+// delivery, interference, UL amplitudes and PRACH - driven directly
+// (no packets), complementing the e2e suites.
+#include <gtest/gtest.h>
+
+#include "ran/air.h"
+
+namespace rb {
+namespace {
+
+ChannelParams quiet_channel() {
+  ChannelParams p;
+  p.shadowing_sigma_db = 0.0;
+  return p;
+}
+
+struct AirRig {
+  AirModel air{ChannelModel(quiet_channel())};
+  CellId cell;
+  RuId ru;
+  UeId ue;
+
+  AirRig() {
+    CellConfig c;
+    c.bandwidth = MHz(100);
+    c.max_layers = 4;
+    c.pci = 1;
+    c.finalize();
+    cell = air.add_cell(c);
+    RuSite s;
+    s.pos = {10, 10, 0};
+    s.n_antennas = 4;
+    s.bandwidth = MHz(100);
+    s.center_freq = c.center_freq;
+    ru = air.add_ru(s);
+    air.assign_ru(cell, ru, 0);
+    UeConfig u;
+    u.pos = {15, 10, 0};  // 5 m
+    ue = air.add_ue(u);
+  }
+
+  /// Report full-grid radiation on all four ports (incl. SSB window).
+  void radiate_all(std::int64_t slot) {
+    RadiationReport rep;
+    for (int p = 0; p < 4; ++p) {
+      RadiationReport::PortReport pr;
+      pr.port = p;
+      pr.data = {{0, 273}};
+      pr.ssb_sym = {{0, 273}};
+      rep.ports.push_back(pr);
+    }
+    air.report_radiation(ru, slot, rep);
+  }
+
+  void attach() {
+    // SSB occasion -> WaitPrach -> PRACH occasion -> complete.
+    air.begin_slot(0);
+    radiate_all(0);
+    air.resolve_dl(0);
+    air.complete_prach(cell, 19);
+  }
+};
+
+TEST(Air, AttachRequiresSsbRadiation) {
+  AirRig rig;
+  rig.air.begin_slot(0);
+  rig.air.resolve_dl(0);  // SSB occasion, but nothing radiated
+  rig.air.complete_prach(rig.cell, 19);
+  EXPECT_FALSE(rig.air.is_attached(rig.ue));
+
+  rig.air.begin_slot(20);
+  rig.radiate_all(20);
+  rig.air.resolve_dl(20);  // now the UE hears the SSB -> WaitPrach
+  rig.air.complete_prach(rig.cell, 39);
+  EXPECT_TRUE(rig.air.is_attached(rig.ue));
+  EXPECT_EQ(rig.air.serving_cell(rig.ue), rig.cell);
+}
+
+TEST(Air, PciLockRestrictsCellChoice) {
+  AirRig rig;
+  UeConfig u;
+  u.pos = {15, 10, 0};
+  u.pci_lock = 99;  // no such PCI
+  const UeId locked = rig.air.add_ue(u);
+  rig.air.begin_slot(0);
+  rig.radiate_all(0);
+  rig.air.resolve_dl(0);
+  rig.air.complete_prach(rig.cell, 19);
+  EXPECT_FALSE(rig.air.is_attached(locked));
+}
+
+TEST(Air, RlfAfterMissedSsbOccasions) {
+  AirRig rig;
+  rig.attach();
+  ASSERT_TRUE(rig.air.is_attached(rig.ue));
+  // SSB occasions pass with no radiation at all.
+  for (int k = 1; k <= AirModel::kRlfSsbMisses; ++k) {
+    const std::int64_t slot = 20 * k;
+    rig.air.begin_slot(slot);
+    rig.air.resolve_dl(slot);
+  }
+  EXPECT_FALSE(rig.air.is_attached(rig.ue));
+}
+
+TEST(Air, DeliveryGatedOnRadiatedCoverage) {
+  AirRig rig;
+  rig.attach();
+  DlAlloc al;
+  al.ue = rig.ue;
+  al.start_prb = 0;
+  al.n_prb = 100;
+  al.layers = 4;
+  al.assumed_sinr_db = 5.0;
+  al.tbs_bits = 1000;
+
+  // Radiation missing entirely: error, no bits.
+  rig.air.begin_slot(100);
+  rig.air.publish_dl_alloc(rig.cell, 100, {al});
+  rig.air.resolve_dl(100);
+  EXPECT_EQ(rig.air.dl_bits(rig.ue), 0u);
+  EXPECT_EQ(rig.air.dl_unradiated(rig.ue), 1u);
+  EXPECT_EQ(rig.air.dl_errors(rig.ue), 0u);  // not an MCS failure
+
+  // Radiation covering the allocation: delivered.
+  rig.air.begin_slot(101);
+  rig.air.publish_dl_alloc(rig.cell, 101, {al});
+  rig.radiate_all(101);
+  rig.air.resolve_dl(101);
+  EXPECT_EQ(rig.air.dl_bits(rig.ue), 1000u);
+}
+
+TEST(Air, PartialPortRadiationScalesLayers) {
+  AirRig rig;
+  rig.attach();
+  DlAlloc al;
+  al.ue = rig.ue;
+  al.start_prb = 0;
+  al.n_prb = 100;
+  al.layers = 4;
+  al.assumed_sinr_db = 0.0;
+  al.tbs_bits = 1000;
+  // Only two of four ports radiate (e.g. a broken dMIMO branch).
+  RadiationReport rep;
+  for (int p = 0; p < 2; ++p) {
+    RadiationReport::PortReport pr;
+    pr.port = p;
+    pr.data = {{0, 273}};
+    rep.ports.push_back(pr);
+  }
+  rig.air.begin_slot(50);
+  rig.air.publish_dl_alloc(rig.cell, 50, {al});
+  rig.air.report_radiation(rig.ru, 50, rep);
+  rig.air.resolve_dl(50);
+  EXPECT_EQ(rig.air.dl_bits(rig.ue), 500u);  // 2/4 layers usable
+}
+
+TEST(Air, CochannelInterferenceReducesThroughputDecision) {
+  AirRig rig;
+  // Second co-channel cell on another RU, far-ish away.
+  CellConfig c2;
+  c2.bandwidth = MHz(100);
+  c2.pci = 2;
+  c2.finalize();
+  const CellId cell2 = rig.air.add_cell(c2);
+  RuSite s2;
+  s2.pos = {30, 10, 0};
+  s2.n_antennas = 4;
+  s2.bandwidth = MHz(100);
+  s2.center_freq = c2.center_freq;
+  const RuId ru2 = rig.air.add_ru(s2);
+  rig.air.assign_ru(cell2, ru2, 0);
+  rig.attach();
+
+  DlAlloc al;
+  al.ue = rig.ue;
+  al.start_prb = 0;
+  al.n_prb = 100;
+  al.layers = 1;
+  al.tbs_bits = 1000;
+
+  // Clean slot: compute an assumed SINR that just passes.
+  rig.air.begin_slot(200);
+  rig.air.publish_dl_alloc(rig.cell, 200, {al});
+  rig.radiate_all(200);
+  rig.air.resolve_dl(200);
+  const double clean_sinr = 26.0 + 6.02;  // 4 antennas, no interference
+
+  // Interfered slot: the other cell transmits on the same PRBs.
+  DlAlloc othr;
+  othr.ue = -1;
+  othr.start_prb = 0;
+  othr.n_prb = 100;
+  othr.layers = 4;
+  al.assumed_sinr_db = clean_sinr - 1.0;  // would pass when clean
+  rig.air.begin_slot(201);
+  rig.air.publish_dl_alloc(rig.cell, 201, {al});
+  rig.air.publish_dl_alloc(cell2, 201, {othr});
+  rig.radiate_all(201);
+  const auto errors_before = rig.air.dl_errors(rig.ue);
+  rig.air.resolve_dl(201);
+  EXPECT_GT(rig.air.dl_errors(rig.ue), errors_before)
+      << "co-channel interference must fail an MCS chosen for clean air";
+}
+
+TEST(Air, UlAmplitudeReflectsAllocations) {
+  AirRig rig;
+  rig.attach();
+  UlAlloc al;
+  al.ue = rig.ue;
+  al.start_prb = 50;
+  al.n_prb = 20;
+  rig.air.begin_slot(300);
+  rig.air.publish_ul_alloc(rig.cell, 300, {al});
+  const double idle = rig.air.ul_rx_amplitude(rig.ru, 300, 10);
+  const double busy = rig.air.ul_rx_amplitude(rig.ru, 300, 60);
+  EXPECT_NEAR(idle, AirModel::kNoiseRms, 1.0);
+  EXPECT_GT(busy, 2.0 * AirModel::kNoiseRms);
+}
+
+TEST(Air, UlResolveCreditsOnceAndChecksSinr) {
+  AirRig rig;
+  rig.attach();
+  UlAlloc al;
+  al.ue = rig.ue;
+  al.start_prb = 0;
+  al.n_prb = 50;
+  al.assumed_sinr_db = 5.0;  // well under the 13.2 dB at 5 m
+  al.tbs_bits = 777;
+  EXPECT_EQ(rig.air.resolve_ul_alloc(rig.cell, 300, al), 777);
+  EXPECT_EQ(rig.air.ul_bits(rig.ue), 777u);
+  al.assumed_sinr_db = 40.0;  // impossible MCS
+  EXPECT_EQ(rig.air.resolve_ul_alloc(rig.cell, 301, al), 0);
+}
+
+TEST(Air, PrachVisibleOnlyDuringOccasionAndWait) {
+  AirRig rig;
+  // Before any SSB: idle UE, no PRACH.
+  EXPECT_TRUE(rig.air.prach_rx(rig.ru, 19).empty());
+  rig.air.begin_slot(0);
+  rig.radiate_all(0);
+  rig.air.resolve_dl(0);  // -> WaitPrach
+  EXPECT_TRUE(rig.air.is_prach_occasion(19));
+  EXPECT_FALSE(rig.air.is_prach_occasion(18));
+  const auto txs = rig.air.prach_rx(rig.ru, 19);
+  ASSERT_EQ(txs.size(), 1u);
+  EXPECT_EQ(txs[0].ue, rig.ue);
+  EXPECT_EQ(txs[0].target_cell, rig.cell);
+  EXPECT_GT(txs[0].amp_rms,
+            AirModel::kPrachDetectFactor * AirModel::kNoiseRms);
+  // Wrong slot: nothing.
+  EXPECT_TRUE(rig.air.prach_rx(rig.ru, 20).empty());
+}
+
+TEST(Air, ResetCountersClearsThroughput) {
+  AirRig rig;
+  rig.attach();
+  UlAlloc al;
+  al.ue = rig.ue;
+  al.n_prb = 10;
+  al.tbs_bits = 10;
+  al.assumed_sinr_db = 0.0;
+  rig.air.resolve_ul_alloc(rig.cell, 1, al);
+  ASSERT_GT(rig.air.ul_bits(rig.ue), 0u);
+  rig.air.reset_counters();
+  EXPECT_EQ(rig.air.ul_bits(rig.ue), 0u);
+  EXPECT_EQ(rig.air.dl_errors(rig.ue), 0u);
+  EXPECT_TRUE(rig.air.is_attached(rig.ue));  // attachment survives
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,139 @@
+// Unit + property tests for the byte/bit packing primitives.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/bytes.h"
+
+namespace rb {
+namespace {
+
+TEST(BufWriter, WritesBigEndian) {
+  std::array<std::uint8_t, 16> buf{};
+  BufWriter w(buf);
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u24(0x56789a);
+  w.u32(0xdeadbeef);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.written(), 10u);
+  const std::array<std::uint8_t, 10> expect{0xab, 0x12, 0x34, 0x56, 0x78,
+                                            0x9a, 0xde, 0xad, 0xbe, 0xef};
+  for (std::size_t i = 0; i < expect.size(); ++i) EXPECT_EQ(buf[i], expect[i]);
+}
+
+TEST(BufWriter, OverflowSetsNotOk) {
+  std::array<std::uint8_t, 3> buf{};
+  BufWriter w(buf);
+  w.u16(1);
+  EXPECT_TRUE(w.ok());
+  w.u16(2);  // 4 bytes > 3
+  EXPECT_FALSE(w.ok());
+}
+
+TEST(BufWriter, PatchU16Backfills) {
+  std::array<std::uint8_t, 8> buf{};
+  BufWriter w(buf);
+  const std::size_t at = w.reserve_u16();
+  w.u8(0x11);
+  w.patch_u16(at, 0xbeef);
+  EXPECT_EQ(buf[0], 0xbe);
+  EXPECT_EQ(buf[1], 0xef);
+  EXPECT_EQ(buf[2], 0x11);
+}
+
+TEST(BufReader, RoundTripsWriter) {
+  std::array<std::uint8_t, 16> buf{};
+  BufWriter w(buf);
+  w.u8(7);
+  w.u16(300);
+  w.u24(70000);
+  w.u32(0x01020304);
+  BufReader r(std::span<const std::uint8_t>(buf.data(), w.written()));
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 300);
+  EXPECT_EQ(r.u24(), 70000u);
+  EXPECT_EQ(r.u32(), 0x01020304u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);  // reader spans exactly the written bytes
+}
+
+TEST(BufReader, UnderrunSetsNotOk) {
+  std::array<std::uint8_t, 2> buf{1, 2};
+  BufReader r(buf);
+  r.u32();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BufReader, ViewDoesNotCopy) {
+  std::array<std::uint8_t, 4> buf{1, 2, 3, 4};
+  BufReader r(buf);
+  auto v = r.view(2);
+  EXPECT_EQ(v.data(), buf.data());
+  EXPECT_EQ(r.pos(), 2u);
+}
+
+/// Property: for every width, packing a stream of signed values in range
+/// and unpacking returns the same values.
+class BitPackWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitPackWidth, SignedRoundTrip) {
+  const int width = GetParam();
+  const std::int32_t lo = -(1 << (width - 1));
+  const std::int32_t hi = (1 << (width - 1)) - 1;
+  std::mt19937 rng(std::uint32_t(width) * 77u);
+  std::uniform_int_distribution<std::int32_t> dist(lo, hi);
+
+  std::vector<std::int32_t> values(97);
+  for (auto& v : values) v = dist(rng);
+  values[0] = lo;   // extremes
+  values[1] = hi;
+  values[2] = 0;
+  values[3] = -1;
+
+  std::vector<std::uint8_t> buf((values.size() * unsigned(width) + 7) / 8);
+  BitWriter w(buf);
+  for (auto v : values) w.put(v, width);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.bytes_written(), buf.size());
+
+  BitReader r(buf);
+  for (auto v : values) EXPECT_EQ(r.get(width), v);
+  EXPECT_TRUE(r.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitPackWidth,
+                         ::testing::Range(2, 17));
+
+TEST(BitWriter, OverflowSetsNotOk) {
+  std::array<std::uint8_t, 1> buf{};
+  BitWriter w(buf);
+  w.put(1, 8);
+  EXPECT_TRUE(w.ok());
+  w.put(1, 1);
+  EXPECT_FALSE(w.ok());
+}
+
+TEST(BitReader, OverrunSetsNotOk) {
+  std::array<std::uint8_t, 1> buf{0xff};
+  BitReader r(buf);
+  r.get(8);
+  EXPECT_TRUE(r.ok());
+  r.get(1);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BitPack, UnalignedBoundaries) {
+  // 9-bit values crossing byte boundaries - the BFP W=9 hot path.
+  std::array<std::uint8_t, 16> buf{};
+  BitWriter w(buf);
+  const std::int32_t vals[5] = {255, -256, 1, -1, 100};
+  for (auto v : vals) w.put(v, 9);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.bytes_written(), std::size_t((5 * 9 + 7) / 8));
+  BitReader r(buf);
+  for (auto v : vals) EXPECT_EQ(r.get(9), v);
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,85 @@
+// End-to-end baseline: one DU, one RU, direct wire, no middlebox.
+// Validates the whole attach path (SSB -> PRACH -> attach) and that the
+// measured throughput lands on the paper's calibration anchors (Table 2,
+// section 6.2 numbers).
+#include <gtest/gtest.h>
+
+#include "sim/deployment.h"
+
+namespace rb {
+namespace {
+
+CellConfig cell100() {
+  CellConfig c;
+  c.bandwidth = MHz(100);
+  c.center_freq = GHz(3) + MHz(460);
+  c.max_layers = 4;
+  c.pci = 1;
+  return c;
+}
+
+TEST(E2eBaseline, UeAttachesThroughSsbAndPrach) {
+  Deployment d;
+  auto du = d.add_du(cell100(), srsran_profile(), 0);
+  RuSite site;
+  site.pos = d.plan.ru_position(0, 0);
+  site.n_antennas = 4;
+  site.bandwidth = MHz(100);
+  site.center_freq = cell100().center_freq;
+  auto ru = d.add_ru(site, 0, du.du->fh());
+  d.connect_direct(du, ru);
+
+  const UeId ue = d.add_ue(d.plan.near_ru(0, 0, 5.0), &du, 100.0, 10.0);
+  EXPECT_FALSE(d.air.is_attached(ue));
+  ASSERT_TRUE(d.attach_all(300));
+  EXPECT_TRUE(d.air.is_attached(ue));
+  EXPECT_EQ(d.air.serving_cell(ue), du.cell);
+  EXPECT_GE(du.du->stats().prach_detections, 1u);
+}
+
+TEST(E2eBaseline, FourLayerThroughputMatchesTable2Anchor) {
+  Deployment d;
+  auto du = d.add_du(cell100(), srsran_profile(), 0);
+  RuSite site;
+  site.pos = d.plan.ru_position(0, 0);
+  site.n_antennas = 4;
+  site.bandwidth = MHz(100);
+  site.center_freq = cell100().center_freq;
+  auto ru = d.add_ru(site, 0, du.du->fh());
+  d.connect_direct(du, ru);
+
+  const UeId ue = d.add_ue(d.plan.near_ru(0, 0, 5.0), &du, 1200.0, 100.0);
+  ASSERT_TRUE(d.attach_all(300));
+  d.measure(400);
+
+  // Paper: 898.2 Mbps DL with rank 4; 70 Mbps UL SISO.
+  EXPECT_NEAR(d.dl_mbps(ue), 898.0, 898.0 * 0.10);
+  EXPECT_NEAR(d.ul_mbps(ue), 70.0, 70.0 * 0.15);
+  EXPECT_EQ(d.air.last_rank(ue), 4);
+}
+
+TEST(E2eBaseline, NoLatePacketsOrParseErrorsOnCleanPath) {
+  Deployment d;
+  auto du = d.add_du(cell100(), srsran_profile(), 0);
+  RuSite site;
+  site.pos = d.plan.ru_position(0, 0);
+  site.n_antennas = 4;
+  site.bandwidth = MHz(100);
+  site.center_freq = cell100().center_freq;
+  auto ru = d.add_ru(site, 0, du.du->fh());
+  d.connect_direct(du, ru);
+  d.add_ue(d.plan.near_ru(0, 0, 5.0), &du, 50.0, 5.0);
+  d.attach_all(300);
+  d.measure(100);
+
+  EXPECT_EQ(du.du->stats().parse_errors, 0u);
+  EXPECT_EQ(du.du->stats().late_drops, 0u);
+  EXPECT_EQ(ru.ru->stats().parse_errors, 0u);
+  EXPECT_EQ(ru.ru->stats().late_drops, 0u);
+  EXPECT_EQ(ru.ru->stats().unexpected_port_drops, 0u);
+  EXPECT_GT(ru.ru->stats().uplane_rx, 0u);
+  EXPECT_GT(du.du->stats().uplane_rx, 0u);
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,132 @@
+// End-to-end DAS (paper 4.1 / 6.2.1): one 100 MHz cell distributed over
+// five RUs (one per floor). UEs on upper floors can only attach because
+// the middlebox replicates the signal; uplink flows only because it merges
+// the per-RU streams.
+#include <gtest/gtest.h>
+
+#include "sim/deployment.h"
+
+namespace rb {
+namespace {
+
+struct DasRig {
+  Deployment d;
+  Deployment::DuHandle du;
+  std::vector<Deployment::RuHandle> rus;
+  MiddleboxRuntime* rt = nullptr;
+
+  // Five RUs exceed the single-core uplink merge budget (paper 6.4.1:
+  // "by adding one extra CPU core, the solution can scale beyond five
+  // RUs"), so the rig runs the middlebox with two workers by default.
+  explicit DasRig(int n_floors = 5, DriverKind driver = DriverKind::Dpdk,
+                  int workers = 2) {
+    CellConfig c;
+    c.bandwidth = MHz(100);
+    c.max_layers = 4;
+    c.pci = 1;
+    du = d.add_du(c, srsran_profile(), 0);
+    std::vector<Deployment::RuHandle*> ptrs;
+    for (int f = 0; f < n_floors; ++f) {
+      RuSite site;
+      site.pos = d.plan.ru_position(f, 1);
+      site.n_antennas = 4;
+      site.bandwidth = MHz(100);
+      site.center_freq = c.center_freq;
+      rus.push_back(d.add_ru(site, std::uint8_t(f), du.du->fh()));
+    }
+    for (auto& r : rus) ptrs.push_back(&r);
+    rt = &d.add_das(du, ptrs, driver, workers);
+  }
+};
+
+TEST(E2eDas, UpperFloorUeCannotAttachWithoutDas) {
+  // Baseline: single RU on the ground floor, UE on floor 3.
+  Deployment d;
+  CellConfig c;
+  c.bandwidth = MHz(100);
+  c.max_layers = 4;
+  auto du = d.add_du(c, srsran_profile(), 0);
+  RuSite site;
+  site.pos = d.plan.ru_position(0, 1);
+  site.n_antennas = 4;
+  site.bandwidth = MHz(100);
+  site.center_freq = c.center_freq;
+  auto ru = d.add_ru(site, 0, du.du->fh());
+  d.connect_direct(du, ru);
+  const UeId far = d.add_ue(d.plan.near_ru(3, 1, 5.0));
+  d.engine.run_slots(200);
+  EXPECT_FALSE(d.air.is_attached(far));  // weak signal through 3 floors
+}
+
+TEST(E2eDas, AllFloorsAttachThroughDas) {
+  DasRig rig;
+  std::vector<UeId> ues;
+  for (int f = 0; f < 5; ++f)
+    ues.push_back(rig.d.add_ue(rig.d.plan.near_ru(f, 1, 5.0), &rig.du,
+                               50.0, 5.0));
+  ASSERT_TRUE(rig.d.attach_all(600));
+  for (UeId ue : ues) EXPECT_TRUE(rig.d.air.is_attached(ue));
+  EXPECT_GT(rig.rt->telemetry().counter("pkts_replicated"), 0u);
+}
+
+TEST(E2eDas, AggregateThroughputMatchesSingleRuBaseline) {
+  // Paper Figure 10a: DAS across five floors delivers the same aggregate
+  // DL/UL throughput as the single-RU baseline.
+  double base_dl = 0, base_ul = 0;
+  {
+    Deployment d;
+    CellConfig c;
+    c.bandwidth = MHz(100);
+    c.max_layers = 4;
+    auto du = d.add_du(c, srsran_profile(), 0);
+    RuSite site;
+    site.pos = d.plan.ru_position(0, 1);
+    site.n_antennas = 4;
+    site.bandwidth = MHz(100);
+    site.center_freq = c.center_freq;
+    auto ru = d.add_ru(site, 0, du.du->fh());
+    d.connect_direct(du, ru);
+    const UeId a = d.add_ue(d.plan.near_ru(0, 1, 4.0), &du, 600.0, 50.0);
+    const UeId b = d.add_ue(d.plan.near_ru(0, 1, -4.0), &du, 600.0, 50.0);
+    ASSERT_TRUE(d.attach_all(600));
+    d.measure(400);
+    base_dl = d.dl_mbps(a) + d.dl_mbps(b);
+    base_ul = d.ul_mbps(a) + d.ul_mbps(b);
+  }
+  DasRig rig;
+  std::vector<UeId> ues;
+  for (int f = 0; f < 5; ++f)
+    ues.push_back(rig.d.add_ue(rig.d.plan.near_ru(f, 1, 4.0), &rig.du,
+                               600.0, 50.0));
+  ASSERT_TRUE(rig.d.attach_all(600));
+  rig.d.measure(400);
+  double das_dl = 0, das_ul = 0;
+  for (UeId ue : ues) {
+    das_dl += rig.d.dl_mbps(ue);
+    das_ul += rig.d.ul_mbps(ue);
+  }
+  EXPECT_NEAR(das_dl, base_dl, base_dl * 0.12);
+  EXPECT_NEAR(das_ul, base_ul, base_ul * 0.15);
+  EXPECT_GT(rig.rt->telemetry().counter("das_merges"), 0u);
+  EXPECT_EQ(rig.rt->telemetry().counter("das_merge_failures"), 0u);
+}
+
+TEST(E2eDas, UplinkDiesIfOneRuLinkFails) {
+  // Failure injection: the merge needs all constituents; losing one RU's
+  // link stalls the uplink combine while downlink keeps flowing.
+  DasRig rig;
+  const UeId ue = rig.d.add_ue(rig.d.plan.near_ru(0, 1, 5.0), &rig.du,
+                               200.0, 20.0);
+  ASSERT_TRUE(rig.d.attach_all(600));
+  rig.d.measure(200);
+  ASSERT_GT(rig.d.ul_mbps(ue), 1.0);
+  ASSERT_GT(rig.d.dl_mbps(ue), 10.0);
+
+  rig.rus[4].port->set_link_up(false);  // top-floor RU dies
+  rig.d.measure(200);
+  EXPECT_LT(rig.d.ul_mbps(ue), 1.0);   // merge never completes
+  EXPECT_GT(rig.d.dl_mbps(ue), 10.0);  // replication unaffected
+}
+
+}  // namespace
+}  // namespace rb

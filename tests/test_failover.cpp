@@ -1,0 +1,101 @@
+// End-to-end test of the resilience middlebox (paper 8.1 extension):
+// heartbeat-driven failover from a dead primary DU to a warm standby,
+// and failback once the primary recovers.
+#include <gtest/gtest.h>
+
+#include "sim/deployment.h"
+
+namespace rb {
+namespace {
+
+struct FoRig {
+  Deployment d;
+  Deployment::DuHandle primary, standby;
+  Deployment::RuHandle ru;
+  FailoverMiddlebox* mb = nullptr;
+  UeId ue = -1;
+
+  FoRig() {
+    CellConfig c;
+    c.bandwidth = MHz(100);
+    c.max_layers = 4;
+    c.pci = 7;  // both DUs announce the same cell identity
+    primary = d.add_du(c, srsran_profile(), 0);
+    standby = d.add_du(c, srsran_profile(), 1);
+    RuSite s;
+    s.pos = d.plan.ru_position(0, 1);
+    s.n_antennas = 4;
+    s.bandwidth = MHz(100);
+    s.center_freq = c.center_freq;
+    ru = d.add_ru(s, 0, primary.du->fh());
+    auto& rt = d.add_failover(primary, standby, ru);
+    mb = dynamic_cast<FailoverMiddlebox*>(&rt.app());
+    ue = d.add_ue(d.plan.near_ru(0, 1, 5.0), nullptr, 0, 0);
+    // The subscriber's flow is provisioned on both DUs; only the serving
+    // one schedules it.
+    d.traffic.set_flow(*primary.du, ue, 300.0, 30.0);
+    d.traffic.set_flow(*standby.du, ue, 300.0, 30.0);
+  }
+};
+
+TEST(E2eFailover, PrimaryServesWhileHealthy) {
+  FoRig rig;
+  ASSERT_TRUE(rig.d.attach_all(600));
+  EXPECT_EQ(rig.mb->active_port(), FailoverMiddlebox::kPrimary);
+  EXPECT_EQ(rig.d.air.serving_cell(rig.ue), rig.primary.cell);
+  rig.d.measure(200);
+  EXPECT_GT(rig.d.dl_mbps(rig.ue), 100.0);
+  EXPECT_EQ(rig.mb->failovers(), 0);
+}
+
+TEST(E2eFailover, DuCrashTriggersSwitchoverAndRecovery) {
+  FoRig rig;
+  ASSERT_TRUE(rig.d.attach_all(600));
+  rig.d.measure(200);
+  ASSERT_GT(rig.d.dl_mbps(rig.ue), 100.0);
+
+  // Kill the primary DU process.
+  rig.primary.du->set_failed(true);
+  rig.d.engine.run_slots(10);
+  EXPECT_EQ(rig.mb->active_port(), FailoverMiddlebox::kStandby)
+      << "heartbeat loss should switch within a few slots";
+  EXPECT_EQ(rig.mb->failovers(), 1);
+
+  // Same PCI: the UE never notices the switch; traffic just continues
+  // through the standby's scheduler.
+  rig.d.engine.run_slots(60);
+  EXPECT_TRUE(rig.d.air.is_attached(rig.ue));
+  EXPECT_TRUE(rig.d.air.same_cell_identity(
+      rig.d.air.serving_cell(rig.ue), rig.standby.cell));
+  rig.d.measure(200);
+  EXPECT_GT(rig.d.dl_mbps(rig.ue), 100.0);
+}
+
+TEST(E2eFailover, FailbackWhenPrimaryReturns) {
+  FoRig rig;
+  ASSERT_TRUE(rig.d.attach_all(600));
+  rig.primary.du->set_failed(true);
+  rig.d.engine.run_slots(400);
+  ASSERT_EQ(rig.mb->active_port(), FailoverMiddlebox::kStandby);
+
+  rig.primary.du->set_failed(false);
+  rig.d.engine.run_slots(10);
+  EXPECT_EQ(rig.mb->active_port(), FailoverMiddlebox::kPrimary);
+  rig.d.engine.run_slots(300);
+  EXPECT_TRUE(rig.d.air.is_attached(rig.ue));
+  rig.d.measure(200);
+  EXPECT_GT(rig.d.dl_mbps(rig.ue), 100.0);
+}
+
+TEST(E2eFailover, NoSwitchoverWhenStandbyAlsoDead) {
+  FoRig rig;
+  ASSERT_TRUE(rig.d.attach_all(600));
+  rig.primary.du->set_failed(true);
+  rig.standby.du->set_failed(true);
+  rig.d.engine.run_slots(50);
+  // Nobody alive: stay put rather than flap.
+  EXPECT_EQ(rig.mb->failovers(), 0);
+}
+
+}  // namespace
+}  // namespace rb

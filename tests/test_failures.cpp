@@ -1,0 +1,139 @@
+// Failure injection: the system's behaviour when parts break - late
+// packets, dead links, PTP holdover, pool pressure, UE mobility loss.
+#include <gtest/gtest.h>
+
+#include "ran/ptp.h"
+#include "sim/deployment.h"
+
+namespace rb {
+namespace {
+
+CellConfig cell100() {
+  CellConfig c;
+  c.bandwidth = MHz(100);
+  c.max_layers = 4;
+  c.pci = 1;
+  return c;
+}
+
+struct Rig {
+  Deployment d;
+  Deployment::DuHandle du;
+  Deployment::RuHandle ru;
+  UeId ue = -1;
+
+  Rig() {
+    du = d.add_du(cell100(), srsran_profile(), 0);
+    RuSite s;
+    s.pos = d.plan.ru_position(0, 1);
+    s.n_antennas = 4;
+    s.bandwidth = MHz(100);
+    s.center_freq = cell100().center_freq;
+    ru = d.add_ru(s, 0, du.du->fh());
+    d.connect_direct(du, ru);
+    ue = d.add_ue(d.plan.near_ru(0, 1, 5.0), &du, 300.0, 30.0);
+  }
+};
+
+TEST(Failures, RuLinkLossCausesRlfAndRecovery) {
+  Rig rig;
+  ASSERT_TRUE(rig.d.attach_all(400));
+  rig.d.measure(100);
+  ASSERT_GT(rig.d.dl_mbps(rig.ue), 100.0);
+
+  // Fiber cut: the UE loses SSB and declares radio-link failure after the
+  // configured miss count.
+  rig.ru.port->set_link_up(false);
+  rig.d.engine.run_slots(AirModel::kRlfSsbMisses *
+                             rig.du.du->config().cell.ssb.period_slots +
+                         40);
+  EXPECT_FALSE(rig.d.air.is_attached(rig.ue));
+
+  // Repair: the UE re-attaches through SSB + PRACH.
+  rig.ru.port->set_link_up(true);
+  rig.d.engine.run_slots(200);
+  EXPECT_TRUE(rig.d.air.is_attached(rig.ue));
+  rig.d.measure(100);
+  EXPECT_GT(rig.d.dl_mbps(rig.ue), 100.0);
+}
+
+TEST(Failures, UeWalksOutOfCoverageAndBack) {
+  Rig rig;
+  ASSERT_TRUE(rig.d.attach_all(400));
+  rig.d.air.set_ue_position(rig.ue, Position{0.5, 0.5, 4});  // 4 floors up
+  rig.d.engine.run_slots(200);
+  EXPECT_FALSE(rig.d.air.is_attached(rig.ue));
+  rig.d.air.set_ue_position(rig.ue, rig.d.plan.near_ru(0, 1, 5.0));
+  rig.d.engine.run_slots(200);
+  EXPECT_TRUE(rig.d.air.is_attached(rig.ue));
+}
+
+TEST(Failures, MiddleboxLatencyBeyondBudgetKillsUplink) {
+  // A pathologically slow middlebox (e.g. misconfigured cost/worker
+  // setup) makes UL U-plane miss the DU reception window.
+  Deployment d;
+  auto du = d.add_du(cell100(), srsran_profile(), 0);
+  std::vector<Deployment::RuHandle> rus;
+  std::vector<Deployment::RuHandle*> ptrs;
+  for (int f = 0; f < 5; ++f) {
+    RuSite s;
+    s.pos = d.plan.ru_position(f, 1);
+    s.n_antennas = 4;
+    s.bandwidth = MHz(100);
+    s.center_freq = cell100().center_freq;
+    rus.push_back(d.add_ru(s, std::uint8_t(f), du.du->fh()));
+  }
+  for (auto& r : rus) ptrs.push_back(&r);
+  // One worker for five RUs: the paper's 6.4.1 over-budget configuration.
+  d.add_das(du, ptrs, DriverKind::Dpdk, /*workers=*/1);
+  const UeId ue = d.add_ue(d.plan.near_ru(0, 1, 5.0), &du, 300.0, 30.0);
+  ASSERT_TRUE(d.attach_all(600));
+  d.measure(200);
+  EXPECT_GT(d.dl_mbps(ue), 100.0);  // DL replication is cheap, unaffected
+  EXPECT_LT(d.ul_mbps(ue), 5.0);    // merges blow the 30 us window
+  EXPECT_GT(du.du->stats().late_drops, 0u);
+}
+
+TEST(Failures, PacketPoolExhaustionIsCountedNotFatal) {
+  PacketPool tiny(3);
+  auto a = tiny.alloc();
+  auto b = tiny.alloc();
+  auto c = tiny.alloc();
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(tiny.alloc());
+  EXPECT_EQ(tiny.alloc_failures(), 5u);
+  a.reset();
+  EXPECT_TRUE(tiny.alloc());
+}
+
+TEST(Failures, PtpHoldoverViolatesDmimoBudget) {
+  PtpGrandmaster gm(60);
+  gm.add_node("ru0");
+  gm.add_node("ru1");
+  EXPECT_LE(gm.max_pairwise_offset_ns(), 60);
+  gm.set_offset_ns("ru1", 900);  // holdover drift after GNSS loss
+  EXPECT_FALSE(gm.locked("ru1"));
+  EXPECT_GT(gm.max_pairwise_offset_ns(), 60);
+}
+
+TEST(Failures, StaleCplaneIsIgnoredByRu) {
+  // A C-plane delayed past its slot window must be dropped by the RU, not
+  // applied to a later slot.
+  Rig rig;
+  ASSERT_TRUE(rig.d.attach_all(400));
+  const auto before = rig.ru.ru->stats().late_drops;
+  // Inject a frame with a plausible header but an hour-late timestamp.
+  CPlaneMsg m;
+  m.direction = Direction::Downlink;
+  m.sections.push_back({});
+  auto p = PacketPool::default_pool().alloc();
+  const std::size_t len = build_cplane_frame(p->raw(), EthHeader{}, EaxcId{},
+                                             0, m, rig.du.du->fh());
+  p->set_len(len);
+  p->rx_time_ns = rig.d.engine.elapsed_ns() + 3'600'000'000'000ll;
+  rig.du.port->send(std::move(p));
+  rig.d.engine.run_slots(2);
+  EXPECT_GT(rig.ru.ru->stats().late_drops, before);
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,91 @@
+// Tests for the pcap capture facility and the port tap.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "fronthaul/pcap.h"
+#include "net/port.h"
+
+namespace rb {
+namespace {
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(f), {});
+}
+
+struct TempFile {
+  std::string path;
+  TempFile() {
+    char buf[] = "/tmp/rb_pcap_XXXXXX";
+    const int fd = mkstemp(buf);
+    if (fd >= 0) close(fd);
+    path = buf;
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(Pcap, WritesValidGlobalHeader) {
+  TempFile tmp;
+  {
+    PcapWriter w(tmp.path);
+    ASSERT_TRUE(w.ok());
+  }
+  const auto bytes = slurp(tmp.path);
+  ASSERT_GE(bytes.size(), 24u);
+  // Magic 0xa1b2c3d4 (host endian; little-endian on this platform).
+  EXPECT_EQ(bytes[0], 0xd4);
+  EXPECT_EQ(bytes[1], 0xc3);
+  EXPECT_EQ(bytes[2], 0xb2);
+  EXPECT_EQ(bytes[3], 0xa1);
+  // Linktype Ethernet = 1 at offset 20.
+  EXPECT_EQ(bytes[20], 1);
+}
+
+TEST(Pcap, RecordCarriesFrameAndTimestamp) {
+  TempFile tmp;
+  const std::vector<std::uint8_t> frame{0xde, 0xad, 0xbe, 0xef, 0x01};
+  {
+    PcapWriter w(tmp.path);
+    w.write(frame, 3'000'002'000);  // 3s + 2us
+    EXPECT_EQ(w.frames_written(), 1u);
+  }
+  const auto bytes = slurp(tmp.path);
+  ASSERT_EQ(bytes.size(), 24u + 16u + frame.size());
+  // ts_sec = 3, ts_usec = 2, incl_len = orig_len = 5.
+  EXPECT_EQ(bytes[24], 3);
+  EXPECT_EQ(bytes[28], 2);
+  EXPECT_EQ(bytes[32], 5);
+  EXPECT_EQ(bytes[36], 5);
+  EXPECT_TRUE(std::equal(frame.begin(), frame.end(), bytes.begin() + 40));
+}
+
+TEST(Pcap, PortTapCapturesTraffic) {
+  TempFile tmp;
+  PacketPool pool(4);
+  Port a("a"), b("b");
+  Port::connect(a, b, 0);
+  PcapWriter w(tmp.path);
+  b.set_tap([&](const Packet& p) { w.write(p.data(), p.rx_time_ns); });
+  for (int i = 0; i < 3; ++i) {
+    auto p = pool.alloc();
+    p->raw()[0] = std::uint8_t(i);
+    p->set_len(60);
+    p->rx_time_ns = i * 1'000;
+    a.send(std::move(p));
+  }
+  EXPECT_EQ(w.frames_written(), 3u);
+  w.flush();
+  EXPECT_EQ(slurp(tmp.path).size(), 24u + 3 * (16u + 60u));
+}
+
+TEST(Pcap, UnwritablePathReportsNotOk) {
+  PcapWriter w("/nonexistent-dir/x.pcap");
+  EXPECT_FALSE(w.ok());
+  w.write(std::vector<std::uint8_t>{1, 2, 3}, 0);  // must not crash
+  EXPECT_EQ(w.frames_written(), 0u);
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,231 @@
+// Unit tests for the RAN substrate pieces with closed-form behaviour:
+// units/PRB tables, slot clock, TDD patterns, channel model, rate model,
+// PTP, and the Appendix A.1 frequency formulas.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/timing.h"
+#include "ran/cell_config.h"
+#include "ran/channel.h"
+#include "ran/phy_rate.h"
+#include "ran/ptp.h"
+#include "ran/tdd.h"
+
+namespace rb {
+namespace {
+
+TEST(Units, PrbTableMatches3gpp) {
+  EXPECT_EQ(prbs_for_bandwidth(MHz(100), Scs::kHz30), 273);
+  EXPECT_EQ(prbs_for_bandwidth(MHz(40), Scs::kHz30), 106);  // Figure 2
+  EXPECT_EQ(prbs_for_bandwidth(MHz(25), Scs::kHz30), 65);
+  EXPECT_EQ(prbs_for_bandwidth(MHz(20), Scs::kHz15), 106);
+  EXPECT_EQ(prbs_for_bandwidth(MHz(3), Scs::kHz30), 0);  // unsupported
+}
+
+TEST(Units, SymbolDurationMatchesPaper) {
+  // Paper: "33.3 us for a typical cell configuration" ~ 500us/14 = 35.7us.
+  EXPECT_EQ(slot_duration_ns(Scs::kHz30), 500'000);
+  EXPECT_NEAR(double(symbol_duration_ns(Scs::kHz30)), 35'714.0, 1.0);
+  EXPECT_EQ(slot_duration_ns(Scs::kHz15), 1'000'000);
+}
+
+TEST(SlotClock, WrapsLikeTheWireFormat) {
+  SlotClock clk(Scs::kHz30);
+  EXPECT_EQ(clk.now(), (SlotPoint{0, 0, 0, 0}));
+  for (int i = 0; i < 14; ++i) clk.advance_symbol();
+  EXPECT_EQ(clk.now(), (SlotPoint{0, 0, 1, 0}));
+  clk.advance_slot();
+  EXPECT_EQ(clk.now(), (SlotPoint{0, 1, 0, 0}));
+  // Frame wraps at 256 (8-bit frameId).
+  SlotClock clk2(Scs::kHz30);
+  for (int i = 0; i < 256 * 10 * 2; ++i) clk2.advance_slot();
+  EXPECT_EQ(clk2.now().frame, 0);
+  EXPECT_EQ(clk2.total_slots(), 5120);
+}
+
+TEST(SlotClock, ElapsedTracksSlots) {
+  SlotClock clk(Scs::kHz30);
+  clk.advance_slot();
+  clk.advance_slot();
+  EXPECT_EQ(clk.elapsed_ns(), 1'000'000);
+}
+
+TEST(Tdd, FromStringAndSymbols) {
+  const TddPattern p = TddPattern::from_string("DDDSU");
+  EXPECT_EQ(p.str(), "DDDSU");
+  EXPECT_EQ(p.dl_symbols(0), 14);
+  EXPECT_EQ(p.dl_symbols(3), 10);  // special
+  EXPECT_EQ(p.dl_symbols(4), 0);
+  EXPECT_EQ(p.ul_symbols(4), 14);
+  EXPECT_EQ(p.ul_symbols(3), 2);
+  EXPECT_TRUE(p.is_dl(5));  // wraps
+  EXPECT_TRUE(p.is_ul(9));
+}
+
+TEST(Tdd, FractionsSumBelowOne) {
+  for (const char* s : {"DDDSU", "DDDDDDDSUU", "DDDSUUDDDD", "DSU"}) {
+    const TddPattern p = TddPattern::from_string(s);
+    EXPECT_GT(p.dl_symbol_fraction(), 0.0) << s;
+    EXPECT_GT(p.ul_symbol_fraction(), 0.0) << s;
+    EXPECT_LT(p.dl_symbol_fraction() + p.ul_symbol_fraction(), 1.01) << s;
+  }
+}
+
+TEST(Tdd, SymbolsPerSecond) {
+  const TddPattern p = TddPattern::from_string("DDDSU");
+  // 2000 slots/s * (3*14+10)/(5*14) symbols DL.
+  EXPECT_NEAR(p.dl_symbols_per_second(Scs::kHz30), 2000.0 * 52.0 / 5.0, 1.0);
+}
+
+TEST(Channel, PathLossMonotoneInDistance) {
+  ChannelModel ch;
+  const Position ru{10, 10, 0};
+  double last = 1e9;
+  for (double d : {2.0, 5.0, 10.0, 20.0, 40.0}) {
+    const double snr = ch.dl_snr_db(ru, Position{10 + d, 10, 0}, 1);
+    EXPECT_LT(snr, last);
+    last = snr;
+  }
+}
+
+TEST(Channel, ReferenceSnrAtFiveMeters) {
+  ChannelParams p;
+  p.shadowing_sigma_db = 0.0;
+  ChannelModel ch(p);
+  EXPECT_NEAR(ch.dl_snr_db({0, 0, 0}, {5, 0, 0}), p.dl_ref_snr_db, 1e-9);
+  EXPECT_NEAR(ch.ul_snr_db({0, 0, 0}, {5, 0, 0}), p.ul_ref_snr_db, 1e-9);
+}
+
+TEST(Channel, FloorPenetrationDominates) {
+  ChannelParams p;
+  p.shadowing_sigma_db = 0.0;
+  ChannelModel ch(p);
+  const double same = ch.dl_snr_db({10, 10, 0}, {14, 10, 0});
+  const double above = ch.dl_snr_db({10, 10, 0}, {14, 10, 1});
+  EXPECT_NEAR(same - above, p.floor_loss_db +
+                  10.0 * p.pathloss_exponent *
+                      std::log10(ch.distance_m({10, 10, 0}, {14, 10, 1}) /
+                                 ch.distance_m({10, 10, 0}, {14, 10, 0})),
+              0.01);
+  // A UE one floor up cannot attach (paper 6.2.1 baseline).
+  EXPECT_LT(above, 0.0);
+}
+
+TEST(Channel, ShadowingDeterministicPerSeed) {
+  ChannelModel ch;
+  const double a = ch.rel_gain_db({0, 0, 0}, {9, 0, 0}, 42);
+  EXPECT_DOUBLE_EQ(a, ch.rel_gain_db({0, 0, 0}, {9, 0, 0}, 42));
+  EXPECT_NE(a, ch.rel_gain_db({0, 0, 0}, {9, 0, 0}, 43));
+}
+
+TEST(PhyRate, SpectralEfficiencyShape) {
+  EXPECT_DOUBLE_EQ(spectral_efficiency(-10.0, 2), 0.0);  // below QPSK edge
+  EXPECT_GT(spectral_efficiency(5.0, 2), spectral_efficiency(0.0, 2));
+  // Ceilings: rank 1 saturates at the SISO transport cap.
+  EXPECT_NEAR(spectral_efficiency(40.0, 2), 7.4, 1e-9);
+  EXPECT_NEAR(spectral_efficiency(40.0, 1), 4.0, 1e-9);
+}
+
+TEST(PhyRate, MimoPenaltyMonotone) {
+  EXPECT_DOUBLE_EQ(mimo_layer_penalty_db(1), 0.0);
+  EXPECT_LT(mimo_layer_penalty_db(2), mimo_layer_penalty_db(3));
+  EXPECT_LT(mimo_layer_penalty_db(3), mimo_layer_penalty_db(4));
+}
+
+TEST(PhyRate, CalibrationAnchorsTable2) {
+  // 26 dB single-antenna SNR at 5 m; DDDSU supplies 19200 DL data
+  // symbols/s. These are the closed-form versions of the e2e anchors.
+  const TddPattern tdd = TddPattern::from_string("DDDSU");
+  const double dl_data_sym_s = 400.0 * (3 * 13 + 9);
+  auto mbps = [&](int ants, int layers) {
+    const double s_total = 26.0 + 10.0 * std::log10(double(ants));
+    const double per_layer = s_total - mimo_layer_penalty_db(layers);
+    return spectral_efficiency(per_layer, layers) * layers * 273 * 12 *
+           dl_data_sym_s / 1e6;
+  };
+  EXPECT_NEAR(mbps(2, 2), 653.4, 653.4 * 0.05);
+  EXPECT_NEAR(mbps(4, 4), 898.2, 898.2 * 0.05);
+  (void)tdd;
+}
+
+TEST(PhyRate, QuantizeToHalfDb) {
+  EXPECT_DOUBLE_EQ(quantize_sinr_db(13.26), 13.5);
+  EXPECT_DOUBLE_EQ(quantize_sinr_db(13.24), 13.0);
+  EXPECT_DOUBLE_EQ(quantize_sinr_db(-4.8), -5.0);
+}
+
+TEST(Ptp, NodesLockWithinBound) {
+  PtpGrandmaster gm(60);
+  gm.add_node("du0");
+  gm.add_node("ru0");
+  gm.add_node("ru1");
+  EXPECT_TRUE(gm.locked("du0"));
+  EXPECT_TRUE(gm.locked("ru0"));
+  EXPECT_LE(gm.max_pairwise_offset_ns(), 60);
+}
+
+TEST(Ptp, HoldoverDriftUnlocks) {
+  PtpGrandmaster gm(60);
+  gm.add_node("ru0");
+  gm.set_offset_ns("ru0", 5'000);  // GPS loss / holdover drift
+  EXPECT_FALSE(gm.locked("ru0"));
+  EXPECT_FALSE(gm.locked("never-added"));
+}
+
+TEST(CellConfig, GridGeometry) {
+  CellConfig c;
+  c.bandwidth = MHz(100);
+  c.center_freq = GHz(3) + MHz(460);
+  c.finalize();
+  EXPECT_EQ(c.n_prb(), 273);
+  // prb0 is half the transmission bandwidth below center.
+  EXPECT_EQ(c.prb0_freq(), c.center_freq - 12 * 30'000 * 273 / 2);
+  EXPECT_EQ(c.prb_freq(0), c.prb0_freq());
+  // SSB centered.
+  EXPECT_EQ(c.ssb.start_prb, 273 / 2 - 10);
+}
+
+TEST(AppendixA11, AlignedCenterFrequencyFormula) {
+  // A DU centered with the formula has prb0 exactly on an RU PRB edge.
+  const Hertz ru_center = GHz(3) + MHz(460);
+  for (int offset : {0, 10, 83, 150, 167}) {
+    const Hertz duc =
+        aligned_du_center_frequency(ru_center, 273, 106, offset, Scs::kHz30);
+    CellConfig du;
+    du.bandwidth = MHz(40);
+    du.center_freq = duc;
+    const Hertz ru_prb0 = ru_center - 12 * 30'000 * 273 / 2;
+    const Hertz delta = du.prb0_freq() - ru_prb0;
+    EXPECT_EQ(delta % (12 * 30'000), 0) << "offset " << offset;
+    EXPECT_EQ(delta / (12 * 30'000), offset);
+  }
+}
+
+TEST(AppendixA12, FreqOffsetTranslation) {
+  // Translating a PRACH window between grids must preserve its absolute
+  // frequency (eq. 11).
+  const Hertz ru_center = GHz(3) + MHz(460);
+  const Hertz du_center =
+      aligned_du_center_frequency(ru_center, 273, 106, 10, Scs::kHz30);
+  CellConfig du;
+  du.bandwidth = MHz(40);
+  du.center_freq = du_center;
+  du.finalize();
+  const std::int32_t fo_ru = translate_freq_offset(
+      du.prach.freq_offset, du_center, ru_center, Scs::kHz30);
+  const Hertz abs_from_du = du.prach_f0();
+  const Hertz abs_from_ru = ru_center - fo_ru * 30'000 / 2;
+  EXPECT_EQ(abs_from_du, abs_from_ru);
+}
+
+TEST(AppendixA12, TranslationIsInvertible) {
+  const Hertz a = GHz(3) + MHz(430), b = GHz(3) + MHz(460);
+  const std::int32_t fo = 1234;
+  EXPECT_EQ(translate_freq_offset(translate_freq_offset(fo, a, b, Scs::kHz30),
+                                  b, a, Scs::kHz30),
+            fo);
+}
+
+}  // namespace
+}  // namespace rb

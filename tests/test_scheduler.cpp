@@ -1,0 +1,155 @@
+// Unit + property tests for the MAC scheduler.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ran/scheduler.h"
+
+namespace rb {
+namespace {
+
+UeReport good_report(int rank = 4, double sinr = 12.0) {
+  UeReport r;
+  r.attached = true;
+  r.serving = 0;
+  r.rank = rank;
+  r.per_layer_sinr_db = sinr;
+  return r;
+}
+
+TEST(Scheduler, NoBacklogNoAllocation) {
+  MacScheduler s(273);
+  auto allocs = s.schedule_dl({{0, good_report()}}, 13);
+  EXPECT_TRUE(allocs.empty());
+}
+
+TEST(Scheduler, DetachedUeNotScheduled) {
+  MacScheduler s(273);
+  s.add_dl_backlog(0, 1'000'000);
+  UeReport rep;  // attached=false
+  EXPECT_TRUE(s.schedule_dl({{0, rep}}, 13).empty());
+}
+
+TEST(Scheduler, SingleBackloggedUeGetsWholeCarrier) {
+  MacScheduler s(273);
+  s.add_dl_backlog(0, 100'000'000);
+  auto allocs = s.schedule_dl({{0, good_report()}}, 13);
+  ASSERT_EQ(allocs.size(), 1u);
+  EXPECT_EQ(allocs[0].start_prb, 0);
+  EXPECT_EQ(allocs[0].n_prb, 273);
+  EXPECT_EQ(allocs[0].layers, 4);
+  EXPECT_GT(allocs[0].tbs_bits, 0);
+}
+
+TEST(Scheduler, SmallBacklogAllocatesOnlyNeededPrbs) {
+  MacScheduler s(273);
+  s.add_dl_backlog(0, 10'000);  // tiny
+  auto allocs = s.schedule_dl({{0, good_report()}}, 13);
+  ASSERT_EQ(allocs.size(), 1u);
+  EXPECT_LT(allocs[0].n_prb, 20);
+  EXPECT_EQ(s.dl_backlog(0), 0);  // fully drained
+}
+
+TEST(Scheduler, WaterFillingRedistributesUnusedShare) {
+  // One tiny flow + one elephant: the elephant gets everything the tiny
+  // flow does not need (the Figure 11 static-UE + walking-UE pattern).
+  MacScheduler s(273);
+  s.add_dl_backlog(0, 20'000);
+  s.add_dl_backlog(1, 500'000'000);
+  auto allocs =
+      s.schedule_dl({{0, good_report()}, {1, good_report()}}, 13);
+  ASSERT_EQ(allocs.size(), 2u);
+  int total = 0, elephant = 0;
+  for (const auto& a : allocs) {
+    total += a.n_prb;
+    if (a.ue == 1) elephant = a.n_prb;
+  }
+  EXPECT_EQ(total, 273);
+  EXPECT_GT(elephant, 240);
+}
+
+/// Property: allocations never overlap and never exceed the carrier.
+TEST(Scheduler, AllocationsDisjointUnderRandomLoads) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    MacScheduler s(106);
+    std::vector<std::pair<UeId, UeReport>> reports;
+    const int n_ues = 1 + int(rng() % 8);
+    for (int u = 0; u < n_ues; ++u) {
+      s.add_dl_backlog(u, std::int64_t(rng() % 3'000'000));
+      reports.push_back({u, good_report(1 + int(rng() % 4),
+                                        3.0 + double(rng() % 20))});
+    }
+    auto allocs = s.schedule_dl(reports, 13);
+    std::vector<bool> used(106, false);
+    for (const auto& a : allocs) {
+      EXPECT_GE(a.start_prb, 0);
+      EXPECT_LE(a.start_prb + a.n_prb, 106);
+      for (int p = a.start_prb; p < a.start_prb + a.n_prb; ++p) {
+        EXPECT_FALSE(used[std::size_t(p)]) << "overlap at " << p;
+        used[std::size_t(p)] = true;
+      }
+    }
+  }
+}
+
+TEST(Scheduler, TbsConsistentWithRate) {
+  MacScheduler s(273);
+  s.add_dl_backlog(0, 1'000'000'000);
+  auto allocs = s.schedule_dl({{0, good_report(4, 11.5)}}, 13);
+  ASSERT_EQ(allocs.size(), 1u);
+  const double se = spectral_efficiency(11.5, 4);
+  EXPECT_NEAR(double(allocs[0].tbs_bits), se * 4 * 273 * 12 * 13,
+              double(allocs[0].tbs_bits) * 0.01);
+}
+
+TEST(Scheduler, OllaWalksDownOnErrorsUpOnSuccess) {
+  MacScheduler s(273);
+  s.add_dl_backlog(0, 1000);
+  EXPECT_DOUBLE_EQ(s.olla_db(0), 0.0);
+  s.on_harq_feedback(0, 2, true);
+  EXPECT_DOUBLE_EQ(s.olla_db(0), -2.0);
+  for (int i = 0; i < 10; ++i) s.on_harq_feedback(0, 0, true);
+  EXPECT_NEAR(s.olla_db(0), -1.5, 1e-9);
+}
+
+TEST(Scheduler, OllaClampedToRange) {
+  MacScheduler s(273);
+  s.add_dl_backlog(0, 1000);
+  s.on_harq_feedback(0, 100, true);
+  EXPECT_DOUBLE_EQ(s.olla_db(0), -15.0);
+  for (int i = 0; i < 10'000; ++i) s.on_harq_feedback(0, 0, true);
+  EXPECT_DOUBLE_EQ(s.olla_db(0), 0.0);  // never above the cap
+}
+
+TEST(Scheduler, UplinkRespectsCarrier) {
+  MacScheduler s(106);
+  for (int u = 0; u < 3; ++u) s.add_ul_backlog(u, 50'000'000);
+  auto allocs = s.schedule_ul(
+      {{0, good_report()}, {1, good_report()}, {2, good_report()}}, 13);
+  int total = 0;
+  for (const auto& a : allocs) total += a.n_prb;
+  EXPECT_LE(total, 106);
+  EXPECT_EQ(allocs.size(), 3u);
+}
+
+TEST(Scheduler, UtilizationLogBounded) {
+  MacScheduler s(273);
+  for (int i = 0; i < 6000; ++i) s.log_utilization(i, 100, 50, true, false);
+  EXPECT_LE(s.utilization_log().size(), 4096u);
+  EXPECT_EQ(s.utilization_log().back().slot, 5999);
+  s.clear_utilization_log();
+  EXPECT_TRUE(s.utilization_log().empty());
+}
+
+TEST(Scheduler, ClearBacklogsDropsQueues) {
+  MacScheduler s(273);
+  s.add_dl_backlog(0, 5'000'000);
+  s.add_ul_backlog(0, 5'000'000);
+  s.clear_backlogs();
+  EXPECT_EQ(s.dl_backlog(0), 0);
+  EXPECT_EQ(s.ul_backlog(0), 0);
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,147 @@
+// Unit tests for the scenario harness: floorplan geometry, traffic
+// generation, power and cost models, vendor profiles.
+#include <gtest/gtest.h>
+
+#include "ran/vendor.h"
+#include "sim/cost.h"
+#include "sim/deployment.h"
+#include "sim/power.h"
+
+namespace rb {
+namespace {
+
+TEST(Floorplan, RuPlacementInsideFloor) {
+  Floorplan fp;
+  for (int f = 0; f < fp.floors; ++f) {
+    for (int i = 0; i < fp.rus_per_floor; ++i) {
+      const Position p = fp.ru_position(f, i);
+      EXPECT_GT(p.x, 0.0);
+      EXPECT_LT(p.x, fp.width_m);
+      EXPECT_DOUBLE_EQ(p.y, fp.depth_m / 2.0);
+      EXPECT_EQ(p.floor, f);
+    }
+  }
+  // Adjacent RUs are evenly spaced.
+  const double d1 = fp.ru_position(0, 1).x - fp.ru_position(0, 0).x;
+  const double d2 = fp.ru_position(0, 2).x - fp.ru_position(0, 1).x;
+  EXPECT_DOUBLE_EQ(d1, d2);
+}
+
+TEST(Floorplan, NearRuClampsToFloor) {
+  Floorplan fp;
+  const Position p = fp.near_ru(0, 0, -100.0);
+  EXPECT_GE(p.x, 0.5);
+  const Position q = fp.near_ru(0, 3, +100.0);
+  EXPECT_LE(q.x, fp.width_m - 0.5);
+}
+
+TEST(Floorplan, WalkRouteCoversTheFloor) {
+  Floorplan fp;
+  const auto route = fp.walk_route(2, 10, 3);
+  EXPECT_EQ(route.size(), 30u);
+  double min_x = 1e9, max_x = 0;
+  for (const auto& p : route) {
+    EXPECT_EQ(p.floor, 2);
+    EXPECT_GT(p.x, 0.0);
+    EXPECT_LT(p.x, fp.width_m);
+    EXPECT_GT(p.y, 0.0);
+    EXPECT_LT(p.y, fp.depth_m);
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+  }
+  EXPECT_LT(min_x, fp.width_m * 0.2);
+  EXPECT_GT(max_x, fp.width_m * 0.8);
+  // Serpentine: consecutive points are adjacent (no teleporting).
+  for (std::size_t i = 1; i < route.size(); ++i) {
+    const double dx = std::abs(route[i].x - route[i - 1].x);
+    const double dy = std::abs(route[i].y - route[i - 1].y);
+    EXPECT_LT(dx + dy, fp.width_m / 10.0 + fp.depth_m / 3.0 + 0.01);
+  }
+}
+
+TEST(Traffic, InjectsOfferedBitsPerSlot) {
+  Deployment d;
+  CellConfig c;
+  c.bandwidth = MHz(40);
+  auto du = d.add_du(c, srsran_profile(), 0);
+  const UeId ue = d.air.add_ue({});
+  d.traffic.set_flow(*du.du, ue, 100.0, 10.0);  // 100 Mbps DL
+  for (int i = 0; i < 10; ++i) d.traffic.on_slot(i);
+  // 100 Mbps * 10 slots * 0.5 ms = 500'000 bits.
+  EXPECT_NEAR(double(du.du->scheduler().dl_backlog(ue)), 500'000.0, 10.0);
+  EXPECT_NEAR(double(du.du->scheduler().ul_backlog(ue)), 50'000.0, 10.0);
+}
+
+TEST(Traffic, ReplaceFlowInsteadOfDuplicating) {
+  Deployment d;
+  CellConfig c;
+  c.bandwidth = MHz(40);
+  auto du = d.add_du(c, srsran_profile(), 0);
+  const UeId ue = d.air.add_ue({});
+  d.traffic.set_flow(*du.du, ue, 100.0, 0.0);
+  d.traffic.set_flow(*du.du, ue, 10.0, 0.0);  // replaces, not adds
+  d.traffic.on_slot(0);
+  EXPECT_NEAR(double(du.du->scheduler().dl_backlog(ue)), 5'000.0, 2.0);
+}
+
+TEST(Traffic, FractionalRatesAccumulate) {
+  Deployment d;
+  CellConfig c;
+  c.bandwidth = MHz(40);
+  auto du = d.add_du(c, srsran_profile(), 0);
+  const UeId ue = d.air.add_ue({});
+  d.traffic.set_flow(*du.du, ue, 0.001, 0.0);  // 0.5 bit per slot
+  for (int i = 0; i < 100; ++i) d.traffic.on_slot(i);
+  EXPECT_NEAR(double(du.du->scheduler().dl_backlog(ue)), 50.0, 2.0);
+}
+
+TEST(Power, Figure14Anchors) {
+  PowerModel pm;
+  // (a): 5 cells + 5 middleboxes on two servers.
+  const int cores_a =
+      5 * PowerModel::kCoresPerCell + 5 * PowerModel::kCoresPerMiddlebox;
+  const double a = pm.server_power_w(pm.cores_per_server) +
+                   pm.server_power_w(cores_a - pm.cores_per_server);
+  EXPECT_NEAR(a, 400.0, 20.0);
+  // (b): one cell + 6 middleboxes, half the idle cores down-clocked.
+  const int cores_b =
+      PowerModel::kCoresPerCell + 6 * PowerModel::kCoresPerMiddlebox;
+  const double b =
+      pm.server_power_w(cores_b, (pm.cores_per_server - cores_b) / 2);
+  EXPECT_NEAR(b, 180.0, 15.0);
+  EXPECT_LT(b, a * 0.5);
+}
+
+TEST(Cost, AppendixA2Anchors) {
+  CostModel cm;
+  EXPECT_NEAR(cm.ranbooster_bom_usd(), 60'000.0, 2'000.0);
+  const double sqft = 15'403.0 * 5;  // the paper's priced area
+  EXPECT_NEAR(cm.conventional_das_usd(sqft), 154'030.0, 1.0);
+  EXPECT_NEAR(cm.savings_pct(sqft), 41.0, 2.0);
+}
+
+TEST(Vendor, ProfilesDifferWhereThePaperSaysSo) {
+  const auto s = srsran_profile();
+  const auto c = capgemini_profile();
+  const auto r = radisys_profile();
+  EXPECT_NE(s.tdd.str(), c.tdd.str());
+  EXPECT_NE(s.tdd.str(), r.tdd.str());
+  EXPECT_TRUE(c.cplane_per_symbol);
+  EXPECT_FALSE(s.cplane_per_symbol);
+  EXPECT_EQ(r.iq_width, 14);
+  EXPECT_FALSE(r.uplane_has_comp_hdr);
+}
+
+TEST(Deployment, PrbOffsetInRuMatchesAlignmentFormula) {
+  CellConfig du_cell;
+  du_cell.bandwidth = MHz(40);
+  RuSite ru;
+  ru.bandwidth = MHz(100);
+  ru.center_freq = GHz(3) + MHz(460);
+  du_cell.center_freq =
+      aligned_du_center_frequency(ru.center_freq, 273, 106, 42, Scs::kHz30);
+  EXPECT_EQ(Deployment::prb_offset_in_ru(du_cell, ru), 42);
+}
+
+}  // namespace
+}  // namespace rb
