@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a11_alignment"
+  "../bench/bench_a11_alignment.pdb"
+  "CMakeFiles/bench_a11_alignment.dir/bench_a11_alignment.cpp.o"
+  "CMakeFiles/bench_a11_alignment.dir/bench_a11_alignment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a11_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

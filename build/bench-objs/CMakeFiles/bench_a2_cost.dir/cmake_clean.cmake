@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a2_cost"
+  "../bench/bench_a2_cost.pdb"
+  "CMakeFiles/bench_a2_cost.dir/bench_a2_cost.cpp.o"
+  "CMakeFiles/bench_a2_cost.dir/bench_a2_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

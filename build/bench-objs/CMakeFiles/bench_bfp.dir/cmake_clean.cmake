@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bfp"
+  "../bench/bench_bfp.pdb"
+  "CMakeFiles/bench_bfp.dir/bench_bfp.cpp.o"
+  "CMakeFiles/bench_bfp.dir/bench_bfp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10a_das"
+  "../bench/bench_fig10a_das.pdb"
+  "CMakeFiles/bench_fig10a_das.dir/bench_fig10a_das.cpp.o"
+  "CMakeFiles/bench_fig10a_das.dir/bench_fig10a_das.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_das.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

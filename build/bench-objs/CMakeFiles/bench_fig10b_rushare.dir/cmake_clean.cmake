@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10b_rushare"
+  "../bench/bench_fig10b_rushare.pdb"
+  "CMakeFiles/bench_fig10b_rushare.dir/bench_fig10b_rushare.cpp.o"
+  "CMakeFiles/bench_fig10b_rushare.dir/bench_fig10b_rushare.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_rushare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

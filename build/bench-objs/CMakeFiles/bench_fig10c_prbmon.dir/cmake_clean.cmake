@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10c_prbmon"
+  "../bench/bench_fig10c_prbmon.pdb"
+  "CMakeFiles/bench_fig10c_prbmon.dir/bench_fig10c_prbmon.cpp.o"
+  "CMakeFiles/bench_fig10c_prbmon.dir/bench_fig10c_prbmon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10c_prbmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_floorwalk"
+  "../bench/bench_fig11_floorwalk.pdb"
+  "CMakeFiles/bench_fig11_floorwalk.dir/bench_fig11_floorwalk.cpp.o"
+  "CMakeFiles/bench_fig11_floorwalk.dir/bench_fig11_floorwalk.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_floorwalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

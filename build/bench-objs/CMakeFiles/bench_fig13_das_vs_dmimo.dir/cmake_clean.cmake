@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_das_vs_dmimo"
+  "../bench/bench_fig13_das_vs_dmimo.pdb"
+  "CMakeFiles/bench_fig13_das_vs_dmimo.dir/bench_fig13_das_vs_dmimo.cpp.o"
+  "CMakeFiles/bench_fig13_das_vs_dmimo.dir/bench_fig13_das_vs_dmimo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_das_vs_dmimo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_dpdk_xdp"
+  "../bench/bench_fig16_dpdk_xdp.pdb"
+  "CMakeFiles/bench_fig16_dpdk_xdp.dir/bench_fig16_dpdk_xdp.cpp.o"
+  "CMakeFiles/bench_fig16_dpdk_xdp.dir/bench_fig16_dpdk_xdp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_dpdk_xdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

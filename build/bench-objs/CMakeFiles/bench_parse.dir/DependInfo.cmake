@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_parse.cpp" "bench-objs/CMakeFiles/bench_parse.dir/bench_parse.cpp.o" "gcc" "bench-objs/CMakeFiles/bench_parse.dir/bench_parse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mb/CMakeFiles/rb_mb.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/rb_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fronthaul/CMakeFiles/rb_fronthaul.dir/DependInfo.cmake"
+  "/root/repo/build/src/iq/CMakeFiles/rb_iq.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_parse"
+  "../bench/bench_parse.pdb"
+  "CMakeFiles/bench_parse.dir/bench_parse.cpp.o"
+  "CMakeFiles/bench_parse.dir/bench_parse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

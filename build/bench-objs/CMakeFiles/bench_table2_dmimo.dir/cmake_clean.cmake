@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_dmimo"
+  "../bench/bench_table2_dmimo.pdb"
+  "CMakeFiles/bench_table2_dmimo.dir/bench_table2_dmimo.cpp.o"
+  "CMakeFiles/bench_table2_dmimo.dir/bench_table2_dmimo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dmimo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_building.dir/das_building.cpp.o"
+  "CMakeFiles/das_building.dir/das_building.cpp.o.d"
+  "das_building"
+  "das_building.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_building.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

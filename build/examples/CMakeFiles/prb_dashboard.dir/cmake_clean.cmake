@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prb_dashboard.dir/prb_dashboard.cpp.o"
+  "CMakeFiles/prb_dashboard.dir/prb_dashboard.cpp.o.d"
+  "prb_dashboard"
+  "prb_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prb_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_common.dir/bytes.cpp.o"
+  "CMakeFiles/rb_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/rb_common.dir/log.cpp.o"
+  "CMakeFiles/rb_common.dir/log.cpp.o.d"
+  "CMakeFiles/rb_common.dir/mac_addr.cpp.o"
+  "CMakeFiles/rb_common.dir/mac_addr.cpp.o.d"
+  "CMakeFiles/rb_common.dir/timing.cpp.o"
+  "CMakeFiles/rb_common.dir/timing.cpp.o.d"
+  "librb_common.a"
+  "librb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

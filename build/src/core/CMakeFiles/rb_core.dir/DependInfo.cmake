@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache.cpp" "src/core/CMakeFiles/rb_core.dir/cache.cpp.o" "gcc" "src/core/CMakeFiles/rb_core.dir/cache.cpp.o.d"
+  "/root/repo/src/core/chain.cpp" "src/core/CMakeFiles/rb_core.dir/chain.cpp.o" "gcc" "src/core/CMakeFiles/rb_core.dir/chain.cpp.o.d"
+  "/root/repo/src/core/mgmt.cpp" "src/core/CMakeFiles/rb_core.dir/mgmt.cpp.o" "gcc" "src/core/CMakeFiles/rb_core.dir/mgmt.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/rb_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/rb_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/telemetry.cpp" "src/core/CMakeFiles/rb_core.dir/telemetry.cpp.o" "gcc" "src/core/CMakeFiles/rb_core.dir/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/iq/CMakeFiles/rb_iq.dir/DependInfo.cmake"
+  "/root/repo/build/src/fronthaul/CMakeFiles/rb_fronthaul.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/rb_ran.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

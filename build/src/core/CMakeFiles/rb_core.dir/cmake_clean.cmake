@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_core.dir/cache.cpp.o"
+  "CMakeFiles/rb_core.dir/cache.cpp.o.d"
+  "CMakeFiles/rb_core.dir/chain.cpp.o"
+  "CMakeFiles/rb_core.dir/chain.cpp.o.d"
+  "CMakeFiles/rb_core.dir/mgmt.cpp.o"
+  "CMakeFiles/rb_core.dir/mgmt.cpp.o.d"
+  "CMakeFiles/rb_core.dir/runtime.cpp.o"
+  "CMakeFiles/rb_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/rb_core.dir/telemetry.cpp.o"
+  "CMakeFiles/rb_core.dir/telemetry.cpp.o.d"
+  "librb_core.a"
+  "librb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fronthaul/cplane.cpp" "src/fronthaul/CMakeFiles/rb_fronthaul.dir/cplane.cpp.o" "gcc" "src/fronthaul/CMakeFiles/rb_fronthaul.dir/cplane.cpp.o.d"
+  "/root/repo/src/fronthaul/ecpri.cpp" "src/fronthaul/CMakeFiles/rb_fronthaul.dir/ecpri.cpp.o" "gcc" "src/fronthaul/CMakeFiles/rb_fronthaul.dir/ecpri.cpp.o.d"
+  "/root/repo/src/fronthaul/ethernet.cpp" "src/fronthaul/CMakeFiles/rb_fronthaul.dir/ethernet.cpp.o" "gcc" "src/fronthaul/CMakeFiles/rb_fronthaul.dir/ethernet.cpp.o.d"
+  "/root/repo/src/fronthaul/frame.cpp" "src/fronthaul/CMakeFiles/rb_fronthaul.dir/frame.cpp.o" "gcc" "src/fronthaul/CMakeFiles/rb_fronthaul.dir/frame.cpp.o.d"
+  "/root/repo/src/fronthaul/pcap.cpp" "src/fronthaul/CMakeFiles/rb_fronthaul.dir/pcap.cpp.o" "gcc" "src/fronthaul/CMakeFiles/rb_fronthaul.dir/pcap.cpp.o.d"
+  "/root/repo/src/fronthaul/uplane.cpp" "src/fronthaul/CMakeFiles/rb_fronthaul.dir/uplane.cpp.o" "gcc" "src/fronthaul/CMakeFiles/rb_fronthaul.dir/uplane.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/iq/CMakeFiles/rb_iq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

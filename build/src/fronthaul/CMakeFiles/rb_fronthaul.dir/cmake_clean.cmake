@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_fronthaul.dir/cplane.cpp.o"
+  "CMakeFiles/rb_fronthaul.dir/cplane.cpp.o.d"
+  "CMakeFiles/rb_fronthaul.dir/ecpri.cpp.o"
+  "CMakeFiles/rb_fronthaul.dir/ecpri.cpp.o.d"
+  "CMakeFiles/rb_fronthaul.dir/ethernet.cpp.o"
+  "CMakeFiles/rb_fronthaul.dir/ethernet.cpp.o.d"
+  "CMakeFiles/rb_fronthaul.dir/frame.cpp.o"
+  "CMakeFiles/rb_fronthaul.dir/frame.cpp.o.d"
+  "CMakeFiles/rb_fronthaul.dir/pcap.cpp.o"
+  "CMakeFiles/rb_fronthaul.dir/pcap.cpp.o.d"
+  "CMakeFiles/rb_fronthaul.dir/uplane.cpp.o"
+  "CMakeFiles/rb_fronthaul.dir/uplane.cpp.o.d"
+  "librb_fronthaul.a"
+  "librb_fronthaul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_fronthaul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

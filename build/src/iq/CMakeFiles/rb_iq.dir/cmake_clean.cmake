@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_iq.dir/bfp.cpp.o"
+  "CMakeFiles/rb_iq.dir/bfp.cpp.o.d"
+  "CMakeFiles/rb_iq.dir/prb.cpp.o"
+  "CMakeFiles/rb_iq.dir/prb.cpp.o.d"
+  "librb_iq.a"
+  "librb_iq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_iq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_mb.dir/das.cpp.o"
+  "CMakeFiles/rb_mb.dir/das.cpp.o.d"
+  "CMakeFiles/rb_mb.dir/dmimo.cpp.o"
+  "CMakeFiles/rb_mb.dir/dmimo.cpp.o.d"
+  "CMakeFiles/rb_mb.dir/failover.cpp.o"
+  "CMakeFiles/rb_mb.dir/failover.cpp.o.d"
+  "CMakeFiles/rb_mb.dir/prbmon.cpp.o"
+  "CMakeFiles/rb_mb.dir/prbmon.cpp.o.d"
+  "CMakeFiles/rb_mb.dir/rushare.cpp.o"
+  "CMakeFiles/rb_mb.dir/rushare.cpp.o.d"
+  "librb_mb.a"
+  "librb_mb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_mb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

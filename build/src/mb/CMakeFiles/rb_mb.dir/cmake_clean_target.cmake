@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librb_mb.a"
+)

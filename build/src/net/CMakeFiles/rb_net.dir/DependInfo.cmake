@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/driver.cpp" "src/net/CMakeFiles/rb_net.dir/driver.cpp.o" "gcc" "src/net/CMakeFiles/rb_net.dir/driver.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/net/CMakeFiles/rb_net.dir/nic.cpp.o" "gcc" "src/net/CMakeFiles/rb_net.dir/nic.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/rb_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/rb_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/port.cpp" "src/net/CMakeFiles/rb_net.dir/port.cpp.o" "gcc" "src/net/CMakeFiles/rb_net.dir/port.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/net/CMakeFiles/rb_net.dir/switch.cpp.o" "gcc" "src/net/CMakeFiles/rb_net.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fronthaul/CMakeFiles/rb_fronthaul.dir/DependInfo.cmake"
+  "/root/repo/build/src/iq/CMakeFiles/rb_iq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

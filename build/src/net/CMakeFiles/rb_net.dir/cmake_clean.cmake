@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_net.dir/driver.cpp.o"
+  "CMakeFiles/rb_net.dir/driver.cpp.o.d"
+  "CMakeFiles/rb_net.dir/nic.cpp.o"
+  "CMakeFiles/rb_net.dir/nic.cpp.o.d"
+  "CMakeFiles/rb_net.dir/packet.cpp.o"
+  "CMakeFiles/rb_net.dir/packet.cpp.o.d"
+  "CMakeFiles/rb_net.dir/port.cpp.o"
+  "CMakeFiles/rb_net.dir/port.cpp.o.d"
+  "CMakeFiles/rb_net.dir/switch.cpp.o"
+  "CMakeFiles/rb_net.dir/switch.cpp.o.d"
+  "librb_net.a"
+  "librb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ran/air.cpp" "src/ran/CMakeFiles/rb_ran.dir/air.cpp.o" "gcc" "src/ran/CMakeFiles/rb_ran.dir/air.cpp.o.d"
+  "/root/repo/src/ran/channel.cpp" "src/ran/CMakeFiles/rb_ran.dir/channel.cpp.o" "gcc" "src/ran/CMakeFiles/rb_ran.dir/channel.cpp.o.d"
+  "/root/repo/src/ran/du.cpp" "src/ran/CMakeFiles/rb_ran.dir/du.cpp.o" "gcc" "src/ran/CMakeFiles/rb_ran.dir/du.cpp.o.d"
+  "/root/repo/src/ran/engine.cpp" "src/ran/CMakeFiles/rb_ran.dir/engine.cpp.o" "gcc" "src/ran/CMakeFiles/rb_ran.dir/engine.cpp.o.d"
+  "/root/repo/src/ran/phy_rate.cpp" "src/ran/CMakeFiles/rb_ran.dir/phy_rate.cpp.o" "gcc" "src/ran/CMakeFiles/rb_ran.dir/phy_rate.cpp.o.d"
+  "/root/repo/src/ran/ptp.cpp" "src/ran/CMakeFiles/rb_ran.dir/ptp.cpp.o" "gcc" "src/ran/CMakeFiles/rb_ran.dir/ptp.cpp.o.d"
+  "/root/repo/src/ran/ru.cpp" "src/ran/CMakeFiles/rb_ran.dir/ru.cpp.o" "gcc" "src/ran/CMakeFiles/rb_ran.dir/ru.cpp.o.d"
+  "/root/repo/src/ran/scheduler.cpp" "src/ran/CMakeFiles/rb_ran.dir/scheduler.cpp.o" "gcc" "src/ran/CMakeFiles/rb_ran.dir/scheduler.cpp.o.d"
+  "/root/repo/src/ran/tdd.cpp" "src/ran/CMakeFiles/rb_ran.dir/tdd.cpp.o" "gcc" "src/ran/CMakeFiles/rb_ran.dir/tdd.cpp.o.d"
+  "/root/repo/src/ran/vendor.cpp" "src/ran/CMakeFiles/rb_ran.dir/vendor.cpp.o" "gcc" "src/ran/CMakeFiles/rb_ran.dir/vendor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/iq/CMakeFiles/rb_iq.dir/DependInfo.cmake"
+  "/root/repo/build/src/fronthaul/CMakeFiles/rb_fronthaul.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rb_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

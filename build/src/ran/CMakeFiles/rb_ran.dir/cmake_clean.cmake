@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_ran.dir/air.cpp.o"
+  "CMakeFiles/rb_ran.dir/air.cpp.o.d"
+  "CMakeFiles/rb_ran.dir/channel.cpp.o"
+  "CMakeFiles/rb_ran.dir/channel.cpp.o.d"
+  "CMakeFiles/rb_ran.dir/du.cpp.o"
+  "CMakeFiles/rb_ran.dir/du.cpp.o.d"
+  "CMakeFiles/rb_ran.dir/engine.cpp.o"
+  "CMakeFiles/rb_ran.dir/engine.cpp.o.d"
+  "CMakeFiles/rb_ran.dir/phy_rate.cpp.o"
+  "CMakeFiles/rb_ran.dir/phy_rate.cpp.o.d"
+  "CMakeFiles/rb_ran.dir/ptp.cpp.o"
+  "CMakeFiles/rb_ran.dir/ptp.cpp.o.d"
+  "CMakeFiles/rb_ran.dir/ru.cpp.o"
+  "CMakeFiles/rb_ran.dir/ru.cpp.o.d"
+  "CMakeFiles/rb_ran.dir/scheduler.cpp.o"
+  "CMakeFiles/rb_ran.dir/scheduler.cpp.o.d"
+  "CMakeFiles/rb_ran.dir/tdd.cpp.o"
+  "CMakeFiles/rb_ran.dir/tdd.cpp.o.d"
+  "CMakeFiles/rb_ran.dir/vendor.cpp.o"
+  "CMakeFiles/rb_ran.dir/vendor.cpp.o.d"
+  "librb_ran.a"
+  "librb_ran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_ran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_sim.dir/cost.cpp.o"
+  "CMakeFiles/rb_sim.dir/cost.cpp.o.d"
+  "CMakeFiles/rb_sim.dir/deployment.cpp.o"
+  "CMakeFiles/rb_sim.dir/deployment.cpp.o.d"
+  "CMakeFiles/rb_sim.dir/floorplan.cpp.o"
+  "CMakeFiles/rb_sim.dir/floorplan.cpp.o.d"
+  "CMakeFiles/rb_sim.dir/power.cpp.o"
+  "CMakeFiles/rb_sim.dir/power.cpp.o.d"
+  "CMakeFiles/rb_sim.dir/traffic.cpp.o"
+  "CMakeFiles/rb_sim.dir/traffic.cpp.o.d"
+  "librb_sim.a"
+  "librb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/sim/CMakeFiles/rb_sim.dir/cost.cpp.o: /root/repo/src/sim/cost.cpp \
+ /usr/include/stdc-predef.h /root/repo/src/sim/cost.h

@@ -1,0 +1,2 @@
+src/sim/CMakeFiles/rb_sim.dir/power.cpp.o: /root/repo/src/sim/power.cpp \
+ /usr/include/stdc-predef.h /root/repo/src/sim/power.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_air.dir/test_air.cpp.o"
+  "CMakeFiles/test_air.dir/test_air.cpp.o.d"
+  "test_air"
+  "test_air.pdb"
+  "test_air[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_air.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

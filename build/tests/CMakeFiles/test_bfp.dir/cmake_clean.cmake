@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bfp.dir/test_bfp.cpp.o"
+  "CMakeFiles/test_bfp.dir/test_bfp.cpp.o.d"
+  "test_bfp"
+  "test_bfp.pdb"
+  "test_bfp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

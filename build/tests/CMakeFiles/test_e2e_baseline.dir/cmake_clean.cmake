@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2e_baseline.dir/test_e2e_baseline.cpp.o"
+  "CMakeFiles/test_e2e_baseline.dir/test_e2e_baseline.cpp.o.d"
+  "test_e2e_baseline"
+  "test_e2e_baseline.pdb"
+  "test_e2e_baseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2e_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

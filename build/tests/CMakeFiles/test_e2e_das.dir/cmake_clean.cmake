@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2e_das.dir/test_e2e_das.cpp.o"
+  "CMakeFiles/test_e2e_das.dir/test_e2e_das.cpp.o.d"
+  "test_e2e_das"
+  "test_e2e_das.pdb"
+  "test_e2e_das[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2e_das.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

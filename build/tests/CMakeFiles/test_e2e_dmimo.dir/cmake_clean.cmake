@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2e_dmimo.dir/test_e2e_dmimo.cpp.o"
+  "CMakeFiles/test_e2e_dmimo.dir/test_e2e_dmimo.cpp.o.d"
+  "test_e2e_dmimo"
+  "test_e2e_dmimo.pdb"
+  "test_e2e_dmimo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2e_dmimo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2e_prbmon.dir/test_e2e_prbmon.cpp.o"
+  "CMakeFiles/test_e2e_prbmon.dir/test_e2e_prbmon.cpp.o.d"
+  "test_e2e_prbmon"
+  "test_e2e_prbmon.pdb"
+  "test_e2e_prbmon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2e_prbmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

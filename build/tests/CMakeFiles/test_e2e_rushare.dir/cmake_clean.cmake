@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2e_rushare.dir/test_e2e_rushare.cpp.o"
+  "CMakeFiles/test_e2e_rushare.dir/test_e2e_rushare.cpp.o.d"
+  "test_e2e_rushare"
+  "test_e2e_rushare.pdb"
+  "test_e2e_rushare[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2e_rushare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

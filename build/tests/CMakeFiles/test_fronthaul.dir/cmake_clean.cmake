@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fronthaul.dir/test_fronthaul.cpp.o"
+  "CMakeFiles/test_fronthaul.dir/test_fronthaul.cpp.o.d"
+  "test_fronthaul"
+  "test_fronthaul.pdb"
+  "test_fronthaul[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fronthaul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mb_unit.dir/test_mb_unit.cpp.o"
+  "CMakeFiles/test_mb_unit.dir/test_mb_unit.cpp.o.d"
+  "test_mb_unit"
+  "test_mb_unit.pdb"
+  "test_mb_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mb_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

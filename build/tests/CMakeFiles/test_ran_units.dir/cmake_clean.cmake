@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ran_units.dir/test_ran_units.cpp.o"
+  "CMakeFiles/test_ran_units.dir/test_ran_units.cpp.o.d"
+  "test_ran_units"
+  "test_ran_units.pdb"
+  "test_ran_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ran_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_e2e_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_e2e_das[1]_include.cmake")
+include("/root/repo/build/tests/test_e2e_dmimo[1]_include.cmake")
+include("/root/repo/build/tests/test_e2e_rushare[1]_include.cmake")
+include("/root/repo/build/tests/test_e2e_prbmon[1]_include.cmake")
+include("/root/repo/build/tests/test_bytes[1]_include.cmake")
+include("/root/repo/build/tests/test_bfp[1]_include.cmake")
+include("/root/repo/build/tests/test_fronthaul[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_ran_units[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_interop[1]_include.cmake")
+include("/root/repo/build/tests/test_failures[1]_include.cmake")
+include("/root/repo/build/tests/test_failover[1]_include.cmake")
+include("/root/repo/build/tests/test_air[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_pcap[1]_include.cmake")
+include("/root/repo/build/tests/test_mb_unit[1]_include.cmake")
