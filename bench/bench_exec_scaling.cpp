@@ -1,0 +1,162 @@
+// Parallel execution engine scaling: wall-clock speedup of the flow-
+// sharded engine over the serial engine on a multi-cell DAS deployment
+// (the software analogue of the paper's claim in 6.4.1 that adding CPU
+// cores scales the middlebox past its single-core budget).
+//
+// Six independent 100 MHz DAS cells (4 floor RUs each) run the same slot
+// schedule under serial, 1, 2, 4 and 8 workers. Besides the timing table
+// the bench cross-checks determinism: every policy must produce an
+// identical telemetry fingerprint. Results land in BENCH_exec_scaling.json.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "exec/exec_policy.h"
+
+namespace rb {
+namespace {
+
+constexpr int kCells = 6;
+constexpr int kRusPerCell = 4;
+constexpr int kWarmupSlots = 160;
+constexpr int kMeasureSlots = 400;
+
+struct Rig {
+  std::unique_ptr<Deployment> d;
+  std::vector<Deployment::DuHandle> dus;
+};
+
+Rig build() {
+  Rig rig;
+  rig.d = std::make_unique<Deployment>();
+  Deployment& d = *rig.d;
+  std::vector<std::vector<Deployment::RuHandle>> rus(kCells);
+  std::uint8_t ru_index = 0;
+  for (int cell = 0; cell < kCells; ++cell) {
+    // Non-overlapping carriers so the cells do not interfere; spread the
+    // sites far apart so each UE only sees its own cell.
+    CellConfig c = bench::cell_cfg(MHz(100), bench::kBand78Center +
+                                                 MHz(120) * cell,
+                                   std::uint16_t(cell + 1));
+    auto du = d.add_du(c, srsran_profile(), std::uint8_t(cell));
+    std::vector<Deployment::RuHandle*> ptrs;
+    for (int f = 0; f < kRusPerCell; ++f) {
+      Position pos = d.plan.ru_position(f, 1);
+      pos.x += 400.0 * cell;  // isolate the sites
+      rus[std::size_t(cell)].push_back(
+          d.add_ru(bench::ru_site(pos, 4, MHz(100), c.center_freq),
+                   ru_index++, du.du->fh()));
+    }
+    for (auto& r : rus[std::size_t(cell)]) ptrs.push_back(&r);
+    d.add_das(du, ptrs, DriverKind::Dpdk, 2);
+    for (int f = 0; f < kRusPerCell; ++f) {
+      Position upos = d.plan.near_ru(f, 1, 4.0);
+      upos.x += 400.0 * cell;
+      d.add_ue(upos, &du, 150.0, 15.0, int(cell + 1));
+    }
+    rig.dus.push_back(du);
+  }
+  return rig;
+}
+
+struct Result {
+  std::string label;
+  double wall_ms = 0;
+  double slots_per_s = 0;
+  std::map<std::string, std::uint64_t> fingerprint;
+  std::uint64_t worker_jobs = 0;
+  std::uint64_t worker_busy_ns = 0;
+};
+
+Result run_policy(const std::string& label, const exec::ExecPolicy& policy) {
+  Rig rig = build();
+  Deployment& d = *rig.d;
+  d.engine.set_exec_policy(policy);
+  d.engine.run_slots(kWarmupSlots);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  d.engine.run_slots(kMeasureSlots);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Result r;
+  r.label = label;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.slots_per_s = double(kMeasureSlots) * 1000.0 / r.wall_ms;
+  for (const auto& rt : d.runtimes)
+    for (const auto& [k, v] : rt->telemetry().counters())
+      r.fingerprint[rt->config().name + "." + k] = v;
+  const auto stats = d.engine.exec_stats();
+  r.worker_jobs = stats.jobs;
+  r.worker_busy_ns = stats.busy_ns;
+  return r;
+}
+
+}  // namespace
+}  // namespace rb
+
+int main() {
+  using namespace rb;
+
+  bench::header("Parallel execution engine scaling",
+                "section 6.4.1 (multi-core middlebox scaling), this repo's "
+                "src/exec engine");
+  const unsigned hw = std::thread::hardware_concurrency();
+  bench::row("%d DAS cells x %d RUs, 100 MHz, %d measured slots", kCells,
+             kRusPerCell, kMeasureSlots);
+  bench::row("host cores: %u%s", hw,
+             hw < 4 ? "  (wall-clock speedup needs >= n_workers cores; on "
+                      "fewer cores this bench measures engine overhead and "
+                      "checks determinism)"
+                    : "");
+  bench::row("");
+  bench::row("%-10s %12s %12s %9s %14s", "policy", "wall ms", "slots/s",
+             "speedup", "worker jobs");
+
+  std::vector<Result> results;
+  results.push_back(run_policy("serial", exec::ExecPolicy::serial()));
+  for (int n : {1, 2, 4, 8})
+    results.push_back(
+        run_policy("par" + std::to_string(n), exec::ExecPolicy::parallel(n)));
+
+  const double base = results[1].wall_ms;  // speedup vs 1 worker
+  bool deterministic = true;
+  for (const auto& r : results) {
+    if (r.fingerprint != results[0].fingerprint) deterministic = false;
+    bench::row("%-10s %12.1f %12.1f %8.2fx %14llu", r.label.c_str(),
+               r.wall_ms, r.slots_per_s, base / r.wall_ms,
+               static_cast<unsigned long long>(r.worker_jobs));
+  }
+  bench::row("");
+  bench::row("deterministic fingerprints: %s", deterministic ? "yes" : "NO");
+
+  std::FILE* f = std::fopen("BENCH_exec_scaling.json", "w");
+  if (f) {
+    std::fprintf(f, "{\n  \"cells\": %d,\n  \"rus_per_cell\": %d,\n", kCells,
+                 kRusPerCell);
+    std::fprintf(f, "  \"host_cores\": %u,\n", hw);
+    std::fprintf(f, "  \"measure_slots\": %d,\n  \"deterministic\": %s,\n",
+                 kMeasureSlots, deterministic ? "true" : "false");
+    std::fprintf(f, "  \"runs\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::fprintf(f,
+                   "    {\"policy\": \"%s\", \"wall_ms\": %.2f, "
+                   "\"slots_per_s\": %.1f, \"speedup_vs_par1\": %.3f, "
+                   "\"worker_jobs\": %llu, \"worker_busy_ms\": %.1f}%s\n",
+                   r.label.c_str(), r.wall_ms, r.slots_per_s,
+                   base / r.wall_ms,
+                   static_cast<unsigned long long>(r.worker_jobs),
+                   double(r.worker_busy_ns) / 1e6,
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    bench::row("wrote BENCH_exec_scaling.json");
+  }
+  return deterministic ? 0 : 1;
+}

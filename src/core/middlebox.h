@@ -172,6 +172,9 @@ class MiddleboxRuntime final : public Pumpable {
   // Pumpable:
   bool pump(std::int64_t slot, std::int64_t slot_start_ns) override;
   void begin_slot(std::int64_t slot) override;
+  bool supports_deferred_tx() const override { return true; }
+  void set_defer_tx(bool on) override { defer_tx_ = on; }
+  bool flush_deferred_tx() override;
 
   /// CPU utilization of the middlebox core(s) over the window since the
   /// last reset_cpu(): 1.0 for DPDK (poll), busy/wall for XDP.
@@ -201,6 +204,16 @@ class MiddleboxRuntime final : public Pumpable {
                       std::int64_t slot_start_ns);
   /// Pick the worker with the earliest availability.
   std::size_t pick_worker() const;
+  /// Transmit on `out` (bounds pre-checked), or queue when deferring.
+  void send_or_defer(int out, PacketPtr pkt);
+
+  /// Pre-interned telemetry handles for the per-packet hot path (avoids
+  /// the string hash/compare per counter bump).
+  struct HotCounters {
+    Telemetry::CounterId pkts_forwarded, pkts_dropped, pkts_replicated,
+        replicate_failures, cache_ops, iq_merges, pool_exhausted, cplane_rx,
+        uplane_rx, non_fh_rx;
+  };
 
   Config cfg_;
   MiddleboxApp* app_;
@@ -210,6 +223,9 @@ class MiddleboxRuntime final : public Pumpable {
   std::vector<std::int64_t> worker_free_at_;
   PacketCache cache_;
   Telemetry telemetry_;
+  HotCounters hot_;
+  bool defer_tx_ = false;
+  std::vector<std::pair<PacketPtr, int>> deferred_tx_;
   std::int64_t cpu_window_start_ns_ = 0;
   std::int64_t slot_max_latency_ns_ = 0;
   std::int64_t last_slot_max_latency_ns_ = 0;

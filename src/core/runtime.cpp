@@ -25,24 +25,24 @@ void MbContext::forward(PacketPtr p, int out_port,
   }
   cost_ns_ += rt_->cfg_.work.forward_ns;
   tx_queue_.emplace_back(std::move(p), out_port);
-  rt_->telemetry_.inc("pkts_forwarded");
+  rt_->telemetry_.inc(rt_->hot_.pkts_forwarded);
 }
 
 void MbContext::drop(PacketPtr p) {
   if (!p) return;
-  rt_->telemetry_.inc("pkts_dropped");
+  rt_->telemetry_.inc(rt_->hot_.pkts_dropped);
   // PacketPtr destructor returns the buffer to the pool.
 }
 
 PacketPtr MbContext::replicate(const Packet& p) {
   PacketPtr c = rt_->pool_.clone(p);
   if (!c) {
-    rt_->telemetry_.inc("replicate_failures");
+    rt_->telemetry_.inc(rt_->hot_.replicate_failures);
     return nullptr;
   }
   cost_ns_ += rt_->cfg_.work.clone_base_ns +
               rt_->cfg_.work.clone_per_kb_ns * double(p.len()) / 1024.0;
-  rt_->telemetry_.inc("pkts_replicated");
+  rt_->telemetry_.inc(rt_->hot_.pkts_replicated);
   return c;
 }
 
@@ -50,7 +50,7 @@ PacketCache& MbContext::cache() { return rt_->cache_; }
 
 void MbContext::charge_cache_op() {
   cost_ns_ += rt_->cfg_.work.cache_op_ns;
-  rt_->telemetry_.inc("cache_ops");
+  rt_->telemetry_.inc(rt_->hot_.cache_ops);
 }
 
 bool MbContext::rewrite_eaxc(Packet& p, const EaxcId& eaxc) {
@@ -73,7 +73,7 @@ std::size_t MbContext::merge_payloads(
   cost_ns_ += double(n_prb) *
               (rt_->cfg_.work.per_prb_decompress_ns * double(srcs.size()) +
                rt_->cfg_.work.per_prb_compress_ns);
-  rt_->telemetry_.inc("iq_merges");
+  rt_->telemetry_.inc(rt_->hot_.iq_merges);
   return merge_compressed(srcs, n_prb, cfg, dst, g_scratch);
 }
 
@@ -99,7 +99,7 @@ void MbContext::charge(double ns) { cost_ns_ += ns; }
 
 PacketPtr MbContext::alloc_packet() {
   PacketPtr p = rt_->pool_.alloc();
-  if (!p) rt_->telemetry_.inc("pool_exhausted");
+  if (!p) rt_->telemetry_.inc(rt_->hot_.pool_exhausted);
   return p;
 }
 
@@ -127,6 +127,18 @@ void MiddleboxApp::on_other(int in_port, PacketPtr p, MbContext& ctx) {
 MiddleboxRuntime::MiddleboxRuntime(Config cfg, MiddleboxApp& app)
     : cfg_(std::move(cfg)), app_(&app), pool_(cfg_.pool_capacity) {
   worker_free_at_.assign(std::size_t(std::max(1, cfg_.n_workers)), 0);
+  hot_ = HotCounters{
+      .pkts_forwarded = telemetry_.intern("pkts_forwarded"),
+      .pkts_dropped = telemetry_.intern("pkts_dropped"),
+      .pkts_replicated = telemetry_.intern("pkts_replicated"),
+      .replicate_failures = telemetry_.intern("replicate_failures"),
+      .cache_ops = telemetry_.intern("cache_ops"),
+      .iq_merges = telemetry_.intern("iq_merges"),
+      .pool_exhausted = telemetry_.intern("pool_exhausted"),
+      .cplane_rx = telemetry_.intern("cplane_rx"),
+      .uplane_rx = telemetry_.intern("uplane_rx"),
+      .non_fh_rx = telemetry_.intern("non_fh_rx"),
+  };
 }
 
 int MiddleboxRuntime::add_port(const std::string& name, Port& port,
@@ -160,9 +172,25 @@ void MiddleboxRuntime::begin_slot(std::int64_t slot) {
   MbContext ctx(this, -1, slot, current_slot_start_ns_);
   app_->on_slot(slot, ctx);
   for (auto& [pkt, out] : ctx.tx_queue_) {
-    if (out >= 0 && out < num_ports())
-      drivers_[std::size_t(out)]->tx(std::move(pkt));
+    if (out >= 0 && out < num_ports()) send_or_defer(out, std::move(pkt));
   }
+}
+
+void MiddleboxRuntime::send_or_defer(int out, PacketPtr pkt) {
+  if (defer_tx_)
+    deferred_tx_.emplace_back(std::move(pkt), out);
+  else
+    drivers_[std::size_t(out)]->tx(std::move(pkt));
+}
+
+bool MiddleboxRuntime::flush_deferred_tx() {
+  if (deferred_tx_.empty()) return false;
+  // Swap out first: tx() delivers inline, and a chained peer's handler
+  // could re-enter this runtime.
+  std::vector<std::pair<PacketPtr, int>> q;
+  q.swap(deferred_tx_);
+  for (auto& [pkt, out] : q) drivers_[std::size_t(out)]->tx(std::move(pkt));
+  return true;
 }
 
 void MiddleboxRuntime::process_packet(int in_port, PacketPtr p,
@@ -180,7 +208,7 @@ void MiddleboxRuntime::process_packet(int in_port, PacketPtr p,
   ProcessingLocus locus = ProcessingLocus::Userspace;
   if (frame) {
     locus = app_->locus(*frame);
-    telemetry_.inc(frame->is_cplane() ? "cplane_rx" : "uplane_rx");
+    telemetry_.inc(frame->is_cplane() ? hot_.cplane_rx : hot_.uplane_rx);
     app_->on_frame(in_port, std::move(p), *frame, ctx);
   } else {
     if (getenv("RB_DEBUG_PARSE")) {
@@ -190,7 +218,7 @@ void MiddleboxRuntime::process_packet(int in_port, PacketPtr p,
         fprintf(stderr, " %02x", d[i]);
       fprintf(stderr, "\n");
     }
-    telemetry_.inc("non_fh_rx");
+    telemetry_.inc(hot_.non_fh_rx);
     app_->on_other(in_port, std::move(p), ctx);
   }
   if (cost_sampler_) cost_sampler_(frame ? &*frame : nullptr, ctx.cost_ns_);
@@ -206,7 +234,7 @@ void MiddleboxRuntime::process_packet(int in_port, PacketPtr p,
     if (out < 0 || out >= num_ports()) continue;
     // The packet leaves when its worker finished processing it.
     pkt->rx_time_ns = std::max(pkt->rx_time_ns, done);
-    drivers_[std::size_t(out)]->tx(std::move(pkt));
+    send_or_defer(out, std::move(pkt));
   }
 }
 

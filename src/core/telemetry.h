@@ -3,12 +3,17 @@
 // Every middlebox exposes named counters/gauges plus a streaming sample
 // channel that external applications subscribe to (the paper's PRB monitor
 // pushes sub-millisecond utilization samples through this).
+//
+// Counters are interned: the hot path increments a dense CounterId slot
+// (one array add, no string hashing or map walk per packet); the string
+// API remains as a thin wrapper for cold paths, management and tests.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace rb {
@@ -22,12 +27,36 @@ struct TelemetrySample {
 
 class Telemetry {
  public:
+  /// Dense handle of an interned counter. Valid for the lifetime of this
+  /// Telemetry instance.
+  using CounterId = std::uint32_t;
+
+  /// Intern a counter name (idempotent): returns its stable handle.
+  CounterId intern(const std::string& name) {
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    const CounterId id = CounterId(values_.size());
+    index_.emplace(name, id);
+    names_.push_back(name);
+    values_.push_back(0);
+    return id;
+  }
+
+  // --- hot path -------------------------------------------------------
+  void inc(CounterId id, std::uint64_t v = 1) {
+    values_[std::size_t(id)] += v;
+  }
+  std::uint64_t counter(CounterId id) const {
+    return id < values_.size() ? values_[std::size_t(id)] : 0;
+  }
+
+  // --- string API (thin wrapper over the interned store) --------------
   void inc(const std::string& name, std::uint64_t v = 1) {
-    counters_[name] += v;
+    inc(intern(name), v);
   }
   std::uint64_t counter(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    auto it = index_.find(name);
+    return it == index_.end() ? 0 : values_[std::size_t(it->second)];
   }
 
   void set_gauge(const std::string& name, double v) { gauges_[name] = v; }
@@ -36,16 +65,23 @@ class Telemetry {
     return it == gauges_.end() ? 0.0 : it->second;
   }
 
-  /// Publish a streaming sample to all subscribers.
+  /// Publish a streaming sample to all subscribers. Index-iterated over a
+  /// pre-snapshot count so a subscriber that subscribes from inside its
+  /// callback neither invalidates the traversal nor receives the sample
+  /// being published — it sees subsequent samples only.
   void publish(const TelemetrySample& s) {
-    for (const auto& sub : subscribers_) sub(s);
+    const std::size_t n = subscribers_.size();
+    for (std::size_t i = 0; i < n; ++i) subscribers_[i](s);
   }
   void subscribe(std::function<void(const TelemetrySample&)> cb) {
     subscribers_.push_back(std::move(cb));
   }
 
-  const std::map<std::string, std::uint64_t>& counters() const {
-    return counters_;
+  /// Name-sorted snapshot of all counters (management/test view).
+  std::map<std::string, std::uint64_t> counters() const {
+    std::map<std::string, std::uint64_t> out;
+    for (std::size_t i = 0; i < names_.size(); ++i) out[names_[i]] = values_[i];
+    return out;
   }
   const std::map<std::string, double>& gauges() const { return gauges_; }
 
@@ -53,7 +89,9 @@ class Telemetry {
   std::string dump() const;
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
+  std::unordered_map<std::string, CounterId> index_;
+  std::vector<std::string> names_;
+  std::vector<std::uint64_t> values_;
   std::map<std::string, double> gauges_;
   std::vector<std::function<void(const TelemetrySample&)>> subscribers_;
 };

@@ -1,0 +1,34 @@
+// Execution policy of the slot engine.
+//
+// serial     - everything on the caller's thread, byte-identical to the
+//              historical engine (the default; all seed tests run here).
+// parallel(n)- a WorkerPool of n threads executes flow islands (DU + RUs
+//              + middlebox runtimes sharing fronthaul flows) in parallel
+//              with a deterministic slot barrier between phases. See
+//              DESIGN.md "Execution model".
+#pragma once
+
+namespace rb::exec {
+
+struct ExecPolicy {
+  enum class Mode { Serial, Parallel };
+
+  Mode mode = Mode::Serial;
+  int n_workers = 1;
+  /// Also run the DU/RU slot phases sharded (not just middlebox pumping)
+  /// when every DU/RU is affinity-bound. Disable to parallelize only the
+  /// middlebox pump phases.
+  bool shard_ran_phases = true;
+
+  static ExecPolicy serial() { return {}; }
+  static ExecPolicy parallel(int n, bool shard_ran = true) {
+    ExecPolicy p;
+    p.mode = Mode::Parallel;
+    p.n_workers = n < 1 ? 1 : n;
+    p.shard_ran_phases = shard_ran;
+    return p;
+  }
+  bool is_parallel() const { return mode == Mode::Parallel && n_workers > 0; }
+};
+
+}  // namespace rb::exec

@@ -1,0 +1,65 @@
+// Multi-producer/single-consumer drain built from per-producer SPSC rings.
+//
+// N producers each own a private SpscRing; the single consumer drains the
+// rings in producer-index order. This keeps every push wait-free and
+// contention-free (no shared tail to CAS on) and - crucially for the
+// deterministic slot barrier - gives the consumer a *fixed merge order*:
+// two runs with the same per-producer streams observe the same drained
+// sequence regardless of thread interleaving.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "exec/spsc_ring.h"
+
+namespace rb::exec {
+
+template <typename T>
+class MpscDrain {
+ public:
+  explicit MpscDrain(std::size_t producers, std::size_t capacity_each = 1024) {
+    rings_.reserve(producers);
+    for (std::size_t i = 0; i < producers; ++i)
+      rings_.push_back(std::make_unique<SpscRing<T>>(capacity_each));
+  }
+
+  std::size_t producers() const { return rings_.size(); }
+
+  /// Producer `i` only. Returns false when that producer's lane is full
+  /// (the consumer is behind); the producer may retry - the consumer
+  /// always makes progress.
+  bool try_push(std::size_t producer, T v) {
+    return rings_[producer]->try_push(std::move(v));
+  }
+
+  /// Consumer only: pop everything currently visible, lane 0 first, each
+  /// lane FIFO. Returns the number of elements delivered to `f`.
+  template <typename F>
+  std::size_t drain(F&& f) {
+    std::size_t n = 0;
+    for (auto& ring : rings_) {
+      T v;
+      while (ring->try_pop(v)) {
+        f(std::move(v));
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  /// Consumer only: ensure each lane can hold `cap` elements. Must be
+  /// called while all producers are quiescent (between barriers).
+  void reserve(std::size_t cap) {
+    for (auto& ring : rings_)
+      if (ring->capacity() < cap)
+        ring = std::make_unique<SpscRing<T>>(cap);
+  }
+
+ private:
+  std::vector<std::unique_ptr<SpscRing<T>>> rings_;
+};
+
+}  // namespace rb::exec

@@ -1,0 +1,49 @@
+// Stable flow sharding.
+//
+// The paper's DPDK middlebox shards fronthaul flows across run-to-
+// completion cores by eAxC ID so a flow's packets never migrate between
+// cores. We reproduce the same discipline: a flow key is a stable FNV-1a
+// hash over (RU, eAxC); every entity serving that flow (DU, RUs,
+// middlebox runtime) is bound to the key, and the execution engine maps
+// keys to workers. The hash is fixed (not seeded) so shard placement is
+// reproducible across runs and worker counts.
+#pragma once
+
+#include <cstdint>
+
+namespace rb::exec {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+constexpr std::uint64_t fnv1a_byte(std::uint64_t h, std::uint8_t b) {
+  return (h ^ b) * kFnvPrime;
+}
+
+constexpr std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = fnv1a_byte(h, std::uint8_t(v & 0xff));
+    v >>= 8;
+  }
+  return h;
+}
+
+/// Flow key of one (RU, eAxC) stream.
+constexpr std::uint64_t flow_key(std::uint32_t ru, std::uint16_t eaxc) {
+  return fnv1a_u64(fnv1a_u64(kFnvOffset, ru), eaxc);
+}
+
+/// Fold another constituent (e.g. a second RU of a DAS set) into a key.
+constexpr std::uint64_t flow_key_extend(std::uint64_t key, std::uint64_t v) {
+  return fnv1a_u64(key, v);
+}
+
+/// Worker index for a flow key. Never returns out-of-range even for n==0.
+constexpr std::size_t shard_of(std::uint64_t key, std::size_t n_shards) {
+  if (n_shards <= 1) return 0;
+  // xor-fold so low-entropy keys still spread.
+  const std::uint64_t folded = key ^ (key >> 32);
+  return std::size_t(folded % n_shards);
+}
+
+}  // namespace rb::exec

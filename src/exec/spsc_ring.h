@@ -1,0 +1,94 @@
+// Bounded single-producer/single-consumer ring (Lamport queue).
+//
+// The cross-worker handoff primitive of the execution engine: one side
+// produces, the other consumes, and the only shared state is a pair of
+// cache-line-padded atomic indices. Both sides keep a cached copy of the
+// remote index so the fast path touches exactly one shared cache line
+// (the slot), mirroring the rte_ring/folly::ProducerConsumerQueue
+// discipline of DPDK-era packet stacks.
+//
+// Guarantees:
+//  * wait-free try_push/try_pop (no CAS loops, no locks),
+//  * FIFO order,
+//  * release/acquire hand-off: everything written before try_push() is
+//    visible to the thread that try_pop()s the element.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace rb::exec {
+
+/// Destructive-interference padding; 64 is right for x86/ARM server parts.
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; the ring holds exactly
+  /// `capacity()` elements before try_push starts failing.
+  explicit SpscRing(std::size_t min_capacity = 1024)
+      : mask_(round_up_pow2(min_capacity) - 1),
+        slots_(round_up_pow2(min_capacity)) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(T v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;  // really full
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;  // really empty
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate (racy by design) occupancy; exact when called from the
+  /// consumer with the producer quiescent, or vice versa.
+  std::size_t size_approx() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+  bool empty_approx() const { return size_approx() == 0; }
+
+  static constexpr std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+
+  // Consumer-owned line: head index + producer-index cache of the consumer.
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;  // consumer's view of tail_
+  // Producer-owned line: tail index + consumer-index cache of the producer.
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ = 0;  // producer's view of head_
+  char pad_end_[kCacheLine]{};  // keep tail_'s line out of neighbours
+};
+
+}  // namespace rb::exec

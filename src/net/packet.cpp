@@ -21,12 +21,16 @@ PacketPool::PacketPool(std::size_t capacity) : capacity_(capacity) {
 PacketPool::~PacketPool() = default;
 
 PacketPtr PacketPool::alloc() {
-  if (free_.empty()) {
-    ++alloc_failures_;
-    return nullptr;
+  Packet* p = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (free_.empty()) {
+      ++alloc_failures_;
+      return nullptr;
+    }
+    p = free_.back();
+    free_.pop_back();
   }
-  Packet* p = free_.back();
-  free_.pop_back();
   p->len_ = 0;
   p->rx_time_ns = 0;
   p->ingress_port = 0;
@@ -43,7 +47,10 @@ PacketPtr PacketPool::clone(const Packet& src) {
   return p;
 }
 
-void PacketPool::release(Packet* p) { free_.push_back(p); }
+void PacketPool::release(Packet* p) {
+  std::lock_guard<std::mutex> lk(mu_);
+  free_.push_back(p);
+}
 
 PacketPool& PacketPool::default_pool() {
   static PacketPool pool(16384);

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -54,6 +55,12 @@ using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
 /// Fixed-size pool of packets. alloc() returns nullptr when exhausted,
 /// which the ports count as drops - the same back-pressure behaviour an
 /// mbuf pool exhibits under overload.
+///
+/// Thread-safe: the free list is mutex-guarded so sharded workers of the
+/// parallel execution engine can allocate/release concurrently (packets
+/// cross shard boundaries when a flow's producer and consumer live on
+/// different workers). The critical section is a pointer push/pop; the
+/// payload copy of clone() happens outside the lock.
 class PacketPool {
  public:
   explicit PacketPool(std::size_t capacity = 4096);
@@ -69,8 +76,14 @@ class PacketPool {
   PacketPtr clone(const Packet& src);
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t in_use() const { return capacity_ - free_.size(); }
-  std::uint64_t alloc_failures() const { return alloc_failures_; }
+  std::size_t in_use() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return capacity_ - free_.size();
+  }
+  std::uint64_t alloc_failures() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return alloc_failures_;
+  }
 
   /// Process-wide default pool used when callers do not wire their own.
   static PacketPool& default_pool();
@@ -81,6 +94,7 @@ class PacketPool {
 
   std::size_t capacity_;
   std::vector<std::unique_ptr<Packet>> storage_;
+  mutable std::mutex mu_;  // guards free_ and alloc_failures_
   std::vector<Packet*> free_;
   std::uint64_t alloc_failures_ = 0;
 };

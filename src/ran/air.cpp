@@ -370,7 +370,30 @@ std::vector<UeId> AirModel::attached_ues(CellId cell) const {
   return out;
 }
 
+void AirModel::set_defer_prach(bool on) {
+  defer_prach_ = on;
+  prach_pending_.assign(cells_.size(), -1);
+}
+
+void AirModel::flush_prach_completions() {
+  if (prach_pending_.size() < cells_.size())
+    prach_pending_.resize(cells_.size(), -1);
+  const bool defer = defer_prach_;
+  defer_prach_ = false;  // re-enter complete_prach on the direct path
+  for (std::size_t c = 0; c < prach_pending_.size(); ++c) {
+    if (prach_pending_[c] >= 0) complete_prach(CellId(c), prach_pending_[c]);
+    prach_pending_[c] = -1;
+  }
+  defer_prach_ = defer;
+}
+
 void AirModel::complete_prach(CellId cell, std::int64_t slot) {
+  if (defer_prach_) {
+    // Disjoint per-cell slot record; applied at the barrier in cell order.
+    if (cell >= 0 && std::size_t(cell) < prach_pending_.size())
+      prach_pending_[std::size_t(cell)] = slot;
+    return;
+  }
   (void)slot;
   for (auto& u : ues_) {
     if (u.state == UeAttachState::WaitPrach && u.prach_target == cell) {

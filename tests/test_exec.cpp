@@ -1,0 +1,316 @@
+// Parallel execution engine: ring primitives, worker pool, and the core
+// guarantee — a flow-sharded parallel slot produces packet-for-packet the
+// same results as the serial engine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/mpsc_drain.h"
+#include "exec/shard.h"
+#include "exec/spsc_ring.h"
+#include "exec/worker_pool.h"
+#include "sim/deployment.h"
+
+namespace rb {
+namespace {
+
+// ----------------------------------------------------------------------
+// SPSC ring
+// ----------------------------------------------------------------------
+
+TEST(SpscRing, FifoFullAndWraparound) {
+  exec::SpscRing<int> ring(4);  // rounded to a power of two >= 4
+  EXPECT_TRUE(ring.empty_approx());
+
+  // Fill to capacity, then overflow must be rejected.
+  int pushed = 0;
+  while (ring.try_push(pushed)) ++pushed;
+  EXPECT_GE(pushed, 4);
+  EXPECT_FALSE(ring.try_push(999));
+
+  // Drain in FIFO order.
+  int v = -1;
+  for (int i = 0; i < pushed; ++i) {
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.try_pop(v));
+
+  // Wrap the indices around the ring many times.
+  for (int round = 0; round < 1000; ++round) {
+    ASSERT_TRUE(ring.try_push(round));
+    ASSERT_TRUE(ring.try_push(-round));
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, round);
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, -round);
+  }
+  EXPECT_TRUE(ring.empty_approx());
+}
+
+TEST(SpscRing, TwoThreadStressPreservesSequence) {
+  exec::SpscRing<std::uint64_t> ring(256);
+  constexpr std::uint64_t kN = 1'000'000;
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kN;) {
+      if (ring.try_push(i))
+        ++i;
+      else
+        std::this_thread::yield();
+    }
+  });
+
+  std::uint64_t expect = 0;
+  std::uint64_t v = 0;
+  while (expect < kN) {
+    if (ring.try_pop(v)) {
+      ASSERT_EQ(v, expect);  // strict FIFO, nothing lost or duplicated
+      ++expect;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_FALSE(ring.try_pop(v));
+}
+
+// ----------------------------------------------------------------------
+// MPSC drain
+// ----------------------------------------------------------------------
+
+TEST(MpscDrain, MultiProducerStressKeepsPerProducerFifo) {
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 200'000;
+  exec::MpscDrain<std::pair<int, std::uint64_t>> drain(kProducers, 1024);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer;) {
+        if (drain.try_push(std::size_t(p), {p, i}))
+          ++i;
+        else
+          std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::uint64_t> next(kProducers, 0);
+  std::uint64_t total = 0;
+  while (total < kProducers * kPerProducer) {
+    drain.drain([&](const std::pair<int, std::uint64_t>& e) {
+      ASSERT_EQ(e.second, next[std::size_t(e.first)]);  // per-lane FIFO
+      ++next[std::size_t(e.first)];
+      ++total;
+    });
+  }
+  for (auto& t : producers) t.join();
+  drain.drain([&](const auto&) { FAIL() << "drain not empty"; });
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next[p], kPerProducer);
+}
+
+// ----------------------------------------------------------------------
+// Flow sharding
+// ----------------------------------------------------------------------
+
+TEST(Shard, StableKeysAndBoundedShards) {
+  const std::uint64_t k = exec::flow_key(7, 2);
+  EXPECT_EQ(k, exec::flow_key(7, 2));                 // reproducible
+  EXPECT_NE(k, exec::flow_key(7, 3));
+  EXPECT_NE(k, exec::flow_key(8, 2));
+  EXPECT_NE(exec::flow_key_extend(k, 1), k);
+  for (std::size_t n = 1; n <= 16; ++n)
+    for (std::uint32_t ru = 0; ru < 64; ++ru)
+      EXPECT_LT(exec::shard_of(exec::flow_key(ru, 0), n), n);
+  EXPECT_EQ(exec::shard_of(k, 0), 0u);
+}
+
+// ----------------------------------------------------------------------
+// Worker pool
+// ----------------------------------------------------------------------
+
+TEST(WorkerPool, RoutesJobsToPinnedWorkersAndCountsStats) {
+  exec::WorkerPool pool(3);
+  ASSERT_EQ(pool.size(), 3);
+
+  struct Probe {
+    std::atomic<int> seen_worker{-1};
+    std::atomic<int> runs{0};
+  };
+  std::vector<Probe> probes(64);
+  auto fn = +[](void* arg, int worker) {
+    auto* p = static_cast<Probe*>(arg);
+    p->seen_worker.store(worker);
+    p->runs.fetch_add(1);
+  };
+
+  for (int batch = 0; batch < 50; ++batch) {
+    std::vector<exec::WorkerPool::Job> jobs;
+    for (int i = 0; i < int(probes.size()); ++i)
+      jobs.push_back({fn, &probes[std::size_t(i)], i % pool.size()});
+    pool.run(jobs);
+    for (int i = 0; i < int(probes.size()); ++i)
+      ASSERT_EQ(probes[std::size_t(i)].seen_worker.load(), i % pool.size());
+  }
+  for (auto& p : probes) EXPECT_EQ(p.runs.load(), 50);
+
+  const auto merged = pool.merged_stats();
+  EXPECT_EQ(merged.jobs, probes.size() * 50);
+  std::uint64_t per_worker = 0;
+  for (int w = 0; w < pool.size(); ++w) per_worker += pool.stats(w).jobs;
+  EXPECT_EQ(per_worker, merged.jobs);  // shards sum to the merged view
+
+  pool.reset_stats();
+  EXPECT_EQ(pool.merged_stats().jobs, 0u);
+}
+
+// ----------------------------------------------------------------------
+// Telemetry interning + publish reentrancy (satellites a and f)
+// ----------------------------------------------------------------------
+
+TEST(TelemetryExec, InternedAndStringApisShareOneStore) {
+  Telemetry t;
+  const auto id = t.intern("hot");
+  EXPECT_EQ(id, t.intern("hot"));  // idempotent
+  t.inc(id, 5);
+  t.inc("hot", 2);
+  EXPECT_EQ(t.counter(id), 7u);
+  EXPECT_EQ(t.counter("hot"), 7u);
+  EXPECT_EQ(t.counter("never_bumped"), 0u);  // lookup must not intern junk
+  const auto snap = t.counters();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap.at("hot"), 7u);
+}
+
+TEST(TelemetryExec, SubscribingFromInsideCallbackIsSafe) {
+  Telemetry t;
+  int outer = 0, inner = 0;
+  t.subscribe([&](const TelemetrySample&) {
+    ++outer;
+    if (outer == 1)
+      t.subscribe([&](const TelemetrySample&) { ++inner; });  // reentrant
+  });
+  t.publish({0, "k", 1.0});  // must not invalidate the iteration
+  t.publish({1, "k", 2.0});
+  EXPECT_EQ(outer, 2);
+  EXPECT_EQ(inner, 1);  // late subscriber sees only the second sample
+}
+
+// ----------------------------------------------------------------------
+// Determinism: parallel slot == serial slot, packet for packet
+// ----------------------------------------------------------------------
+
+// The DAS e2e scenario (one 100 MHz cell over five floor RUs) plus a
+// second independent direct-wired cell, so the parallel engine has more
+// than one island to spread.
+struct Fingerprint {
+  std::map<std::string, std::uint64_t> counters;
+  std::vector<std::uint64_t> port_bytes;  // tx/rx bytes per port
+  std::uint64_t dl_bits = 0, ul_bits = 0;
+  std::int64_t slot = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint run_scenario(const exec::ExecPolicy& policy, int slots) {
+  Deployment d;
+  CellConfig c;
+  c.bandwidth = MHz(100);
+  c.max_layers = 4;
+  c.pci = 1;
+  auto du = d.add_du(c, srsran_profile(), 0);
+  std::vector<Deployment::RuHandle> rus;
+  std::vector<Deployment::RuHandle*> ptrs;
+  for (int f = 0; f < 5; ++f) {
+    RuSite site;
+    site.pos = d.plan.ru_position(f, 1);
+    site.n_antennas = 4;
+    site.bandwidth = MHz(100);
+    site.center_freq = c.center_freq;
+    rus.push_back(d.add_ru(site, std::uint8_t(f), du.du->fh()));
+  }
+  for (auto& r : rus) ptrs.push_back(&r);
+  d.add_das(du, ptrs, DriverKind::Dpdk, 2);
+
+  // Independent second cell on its own island.
+  CellConfig c2;
+  c2.bandwidth = MHz(100);
+  c2.max_layers = 4;
+  c2.pci = 2;
+  c2.center_freq = c.center_freq + MHz(120);
+  auto du2 = d.add_du(c2, srsran_profile(), 1);
+  RuSite s2;
+  s2.pos = d.plan.ru_position(0, 3);
+  s2.n_antennas = 4;
+  s2.bandwidth = MHz(100);
+  s2.center_freq = c2.center_freq;
+  auto ru2 = d.add_ru(s2, 5, du2.du->fh());
+  d.connect_direct(du2, ru2);
+
+  std::vector<UeId> ues;
+  for (int f = 0; f < 5; ++f)
+    ues.push_back(d.add_ue(d.plan.near_ru(f, 1, 4.0), &du, 200.0, 20.0));
+  ues.push_back(d.add_ue(d.plan.near_ru(0, 3, 4.0), &du2, 200.0, 20.0, 2));
+
+  d.engine.set_exec_policy(policy);
+  d.engine.run_slots(slots);
+
+  Fingerprint fp;
+  fp.slot = d.engine.current_slot();
+  for (const auto& rt : d.runtimes)
+    for (const auto& [k, v] : rt->telemetry().counters())
+      fp.counters[rt->config().name + "." + k] = v;
+  for (const auto& p : d.ports) {
+    fp.port_bytes.push_back(p->stats().tx_bytes);
+    fp.port_bytes.push_back(p->stats().rx_bytes);
+  }
+  for (UeId ue : ues) {
+    fp.dl_bits += d.air.dl_bits(ue);
+    fp.ul_bits += d.air.ul_bits(ue);
+  }
+  return fp;
+}
+
+TEST(ExecDeterminism, ParallelMatchesSerialPacketForPacket) {
+  constexpr int kSlots = 240;  // covers attach, PRACH, and steady traffic
+  const Fingerprint serial = run_scenario(exec::ExecPolicy::serial(), kSlots);
+  const Fingerprint par1 = run_scenario(exec::ExecPolicy::parallel(1), kSlots);
+  const Fingerprint par4 = run_scenario(exec::ExecPolicy::parallel(4), kSlots);
+
+  ASSERT_GT(serial.dl_bits, 0u);
+  ASSERT_GT(serial.ul_bits, 0u);
+  EXPECT_GT(serial.counters.at("das0.pkts_replicated"), 0u);
+
+  EXPECT_EQ(par1, serial);
+  EXPECT_EQ(par4, serial);
+  EXPECT_EQ(par4, par1);
+}
+
+TEST(ExecDeterminism, PolicyCanFlipBackToSerialMidRun) {
+  Deployment d;
+  CellConfig c;
+  c.bandwidth = MHz(40);
+  auto du = d.add_du(c, srsran_profile(), 0);
+  RuSite site;
+  site.pos = d.plan.ru_position(0, 1);
+  site.bandwidth = MHz(40);
+  site.center_freq = c.center_freq;
+  auto ru = d.add_ru(site, 0, du.du->fh());
+  d.connect_direct(du, ru);
+  const UeId ue = d.add_ue(d.plan.near_ru(0, 1, 4.0), &du, 50.0, 5.0);
+
+  d.engine.set_exec_policy(exec::ExecPolicy::parallel(2));
+  d.engine.run_slots(120);
+  d.engine.set_exec_policy(exec::ExecPolicy::serial());
+  d.engine.run_slots(120);
+  EXPECT_TRUE(d.air.is_attached(ue));
+  EXPECT_GT(d.air.dl_bits(ue), 0u);
+}
+
+}  // namespace
+}  // namespace rb
