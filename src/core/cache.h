@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -42,8 +43,16 @@ class PacketCache {
   }
 
   void put(std::uint64_t k, CachedPacket entry) {
-    map_[k].push_back(std::move(entry));
+    auto& v = map_[k];
+    if (v.empty()) order_.push_back(k);
+    v.push_back(std::move(entry));
     ++size_;
+    // Under sustained loss, entries whose partners never arrive would
+    // otherwise accumulate until the slot boundary; cap the cache and
+    // evict whole oldest keys first (they are the least likely to still
+    // complete).
+    while (max_entries_ > 0 && size_ > max_entries_ && !order_.empty())
+      evict_oldest_key();
   }
 
   /// Entries under a key (empty vector if none).
@@ -76,18 +85,41 @@ class PacketCache {
   }
 
   /// Drop every entry (slot boundary cleanup; per-symbol state must not
-  /// leak across slots).
+  /// leak across slots). Not counted as eviction.
   void clear() {
     map_.clear();
+    order_.clear();
     size_ = 0;
   }
 
   std::size_t size() const { return size_; }
   std::size_t keys() const { return map_.size(); }
 
+  /// Entry cap (0 = unbounded) and cumulative count of entries evicted by
+  /// the cap (never-combined state dropped under sustained loss).
+  void set_max_entries(std::size_t n) { max_entries_ = n; }
+  std::size_t max_entries() const { return max_entries_; }
+  std::uint64_t evictions() const { return evictions_; }
+
  private:
+  void evict_oldest_key() {
+    while (!order_.empty()) {
+      const std::uint64_t k = order_.front();
+      order_.pop_front();
+      auto it = map_.find(k);
+      if (it == map_.end()) continue;  // stale: key was taken/erased
+      size_ -= it->second.size();
+      evictions_ += it->second.size();
+      map_.erase(it);
+      return;
+    }
+  }
+
   std::unordered_map<std::uint64_t, std::vector<CachedPacket>> map_;
+  std::deque<std::uint64_t> order_;  // key insertion order (may hold stale keys)
   std::size_t size_ = 0;
+  std::size_t max_entries_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace rb

@@ -12,6 +12,7 @@
 // applications in src/mb.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -144,6 +145,15 @@ class MiddleboxApp {
     (void)slot;
     (void)ctx;
   }
+  /// Called when a pump pass finds no pending traffic: every packet that
+  /// was going to arrive this phase has been processed. Apps holding
+  /// partial per-symbol state (DAS combine groups) use this as their
+  /// deadline to flush whatever arrived instead of waiting forever.
+  /// Must be idempotent; emitting packets marks the pump as productive.
+  virtual void on_pump_idle(std::int64_t slot, MbContext& ctx) {
+    (void)slot;
+    (void)ctx;
+  }
 };
 
 /// Runtime: ports, drivers, parse loop, accounting. Implements Pumpable so
@@ -158,6 +168,9 @@ class MiddleboxRuntime final : public Pumpable {
     WorkCosts work{};
     int n_workers = 1;
     std::size_t pool_capacity = 8192;
+    /// Packet-cache entry cap (0 = unbounded): under sustained loss,
+    /// never-combined entries are evicted oldest-first with telemetry.
+    std::size_t cache_max_entries = 4096;
   };
 
   MiddleboxRuntime(Config cfg, MiddleboxApp& app);
@@ -202,6 +215,9 @@ class MiddleboxRuntime final : public Pumpable {
   friend class MbContext;
   void process_packet(int in_port, PacketPtr p, std::int64_t slot,
                       std::int64_t slot_start_ns);
+  /// Give the app its end-of-phase deadline callback; returns true if it
+  /// emitted anything.
+  bool pump_idle(std::int64_t slot, std::int64_t slot_start_ns);
   /// Pick the worker with the earliest availability.
   std::size_t pick_worker() const;
   /// Transmit on `out` (bounds pre-checked), or queue when deferring.
@@ -212,7 +228,9 @@ class MiddleboxRuntime final : public Pumpable {
   struct HotCounters {
     Telemetry::CounterId pkts_forwarded, pkts_dropped, pkts_replicated,
         replicate_failures, cache_ops, iq_merges, pool_exhausted, cplane_rx,
-        uplane_rx, non_fh_rx;
+        uplane_rx, non_fh_rx, cache_evicted, cache_stale;
+    /// Per-reason parse rejects ("parse_reject_<reason>").
+    std::array<Telemetry::CounterId, kParseErrorCount> parse_reject{};
   };
 
   Config cfg_;
@@ -230,6 +248,7 @@ class MiddleboxRuntime final : public Pumpable {
   std::int64_t slot_max_latency_ns_ = 0;
   std::int64_t last_slot_max_latency_ns_ = 0;
   std::int64_t current_slot_start_ns_ = 0;
+  std::uint64_t cache_evictions_seen_ = 0;
   CostSampler cost_sampler_;
 };
 

@@ -138,7 +138,13 @@ MiddleboxRuntime::MiddleboxRuntime(Config cfg, MiddleboxApp& app)
       .cplane_rx = telemetry_.intern("cplane_rx"),
       .uplane_rx = telemetry_.intern("uplane_rx"),
       .non_fh_rx = telemetry_.intern("non_fh_rx"),
+      .cache_evicted = telemetry_.intern("cache_evicted"),
+      .cache_stale = telemetry_.intern("cache_stale_dropped"),
   };
+  for (std::size_t i = 0; i < kParseErrorCount; ++i)
+    hot_.parse_reject[i] = telemetry_.intern(
+        std::string("parse_reject_") + parse_error_name(ParseError(i)));
+  cache_.set_max_entries(cfg_.cache_max_entries);
 }
 
 int MiddleboxRuntime::add_port(const std::string& name, Port& port,
@@ -163,7 +169,15 @@ std::size_t MiddleboxRuntime::pick_worker() const {
 
 void MiddleboxRuntime::begin_slot(std::int64_t slot) {
   // Per-symbol state must not leak across slots; real middleboxes bound
-  // their caches to the fronthaul timing window.
+  // their caches to the fronthaul timing window. Entries still cached
+  // here never found their combine partners (loss upstream) - surface
+  // them before dropping.
+  if (cache_.size() > 0) telemetry_.inc(hot_.cache_stale, cache_.size());
+  if (cache_.evictions() > cache_evictions_seen_) {
+    telemetry_.inc(hot_.cache_evicted,
+                   cache_.evictions() - cache_evictions_seen_);
+    cache_evictions_seen_ = cache_.evictions();
+  }
   cache_.clear();
   last_slot_max_latency_ns_ = slot_max_latency_ns_;
   slot_max_latency_ns_ = 0;
@@ -204,13 +218,16 @@ void MiddleboxRuntime::process_packet(int in_port, PacketPtr p,
   MbContext ctx(this, in_port, slot, slot_start_ns);
   ctx.start_ns_ = start;
 
-  auto frame = parse_frame(p->data(), port_fh_[std::size_t(in_port)]);
+  ParseError perr = ParseError::None;
+  auto frame = parse_frame(p->data(), port_fh_[std::size_t(in_port)], &perr);
   ProcessingLocus locus = ProcessingLocus::Userspace;
   if (frame) {
     locus = app_->locus(*frame);
     telemetry_.inc(frame->is_cplane() ? hot_.cplane_rx : hot_.uplane_rx);
     app_->on_frame(in_port, std::move(p), *frame, ctx);
   } else {
+    if (perr != ParseError::None && perr < ParseError::kCount)
+      telemetry_.inc(hot_.parse_reject[std::size_t(perr)]);
     if (getenv("RB_DEBUG_PARSE")) {
       auto d = p->data();
       fprintf(stderr, "[parsefail] len=%zu bytes:", d.size());
@@ -249,7 +266,7 @@ bool MiddleboxRuntime::pump(std::int64_t slot, std::int64_t slot_start_ns) {
       pkts.clear();
     }
   }
-  if (batch.empty()) return false;
+  if (batch.empty()) return pump_idle(slot, slot_start_ns);
   std::stable_sort(batch.begin(), batch.end(),
                    [](const auto& a, const auto& b) {
                      return a.second->rx_time_ns < b.second->rx_time_ns;
@@ -257,6 +274,23 @@ bool MiddleboxRuntime::pump(std::int64_t slot, std::int64_t slot_start_ns) {
   for (auto& [in_port, p] : batch)
     process_packet(in_port, std::move(p), slot, slot_start_ns);
   return true;
+}
+
+bool MiddleboxRuntime::pump_idle(std::int64_t slot,
+                                 std::int64_t slot_start_ns) {
+  // All traffic of this phase has drained: give the app its deadline
+  // callback. Anything it emits (e.g. a partial DAS combine) makes this
+  // pump productive so downstream pumps run again.
+  MbContext ctx(this, -1, slot, slot_start_ns);
+  app_->on_pump_idle(slot, ctx);
+  if (ctx.tx_queue_.empty()) return false;
+  bool moved = false;
+  for (auto& [pkt, out] : ctx.tx_queue_) {
+    if (out < 0 || out >= num_ports()) continue;
+    send_or_defer(out, std::move(pkt));
+    moved = true;
+  }
+  return moved;
 }
 
 double MiddleboxRuntime::cpu_utilization(std::int64_t now_ns) const {

@@ -43,7 +43,11 @@ bool CPlaneMsg::encode(BufWriter& w) const {
   return w.ok();
 }
 
-std::optional<CPlaneMsg> CPlaneMsg::parse(BufReader& r) {
+std::optional<CPlaneMsg> CPlaneMsg::parse(BufReader& r, ParseError* err) {
+  const auto fail = [&](ParseError e) {
+    if (err) *err = e;
+    return std::nullopt;
+  };
   CPlaneMsg m;
   std::uint8_t b0 = r.u8();
   m.direction = (b0 & 0x80) ? Direction::Downlink : Direction::Uplink;
@@ -56,8 +60,8 @@ std::optional<CPlaneMsg> CPlaneMsg::parse(BufReader& r) {
   m.at.symbol = std::uint8_t(ssf & 0x3f);
   std::uint8_t n_sections = r.u8();
   std::uint8_t st = r.u8();
-  if (!r.ok()) return std::nullopt;
-  if (st != 1 && st != 3) return std::nullopt;
+  if (!r.ok()) return fail(ParseError::TruncatedCplane);
+  if (st != 1 && st != 3) return fail(ParseError::BadSectionType);
   m.section_type = static_cast<SectionType>(st);
   if (m.section_type == SectionType::Type1) {
     m.comp = CompConfig::from_ud_comp_hdr(r.u8());
@@ -68,6 +72,7 @@ std::optional<CPlaneMsg> CPlaneMsg::parse(BufReader& r) {
     m.cp_length = r.u16();
     m.comp = CompConfig::from_ud_comp_hdr(r.u8());
   }
+  if (!r.ok()) return fail(ParseError::TruncatedCplane);
   m.sections.reserve(n_sections);
   for (int i = 0; i < n_sections; ++i) {
     CSection s;
@@ -90,7 +95,7 @@ std::optional<CPlaneMsg> CPlaneMsg::parse(BufReader& r) {
       s.freq_offset = std::int32_t(fo);
       r.skip(1);
     }
-    if (!r.ok()) return std::nullopt;
+    if (!r.ok()) return fail(ParseError::TruncatedCSection);
     m.sections.push_back(s);
   }
   return m;

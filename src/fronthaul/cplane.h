@@ -14,6 +14,7 @@
 #include "common/bytes.h"
 #include "common/timing.h"
 #include "fronthaul/fh_config.h"
+#include "fronthaul/parse_error.h"
 
 namespace rb {
 
@@ -62,7 +63,8 @@ struct CPlaneMsg {
   bool encode(BufWriter& w) const;
 
   /// Parse the radio-application layer.
-  static std::optional<CPlaneMsg> parse(BufReader& r);
+  static std::optional<CPlaneMsg> parse(BufReader& r,
+                                        ParseError* err = nullptr);
 };
 
 }  // namespace rb

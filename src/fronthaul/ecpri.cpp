@@ -12,9 +12,14 @@ void EcpriHeader::encode(BufWriter& w) const {
   w.u8(std::uint8_t((e_bit ? 0x80 : 0x00) | (sub_seq_id & 0x7f)));
 }
 
-std::optional<EcpriHeader> EcpriHeader::parse(BufReader& r) {
+std::optional<EcpriHeader> EcpriHeader::parse(BufReader& r, ParseError* err) {
+  const auto fail = [&](ParseError e) {
+    if (err) *err = e;
+    return std::nullopt;
+  };
   std::uint8_t b0 = r.u8();
-  if (!r.ok() || (b0 >> 4) != 1) return std::nullopt;  // eCPRI version 1
+  if (!r.ok()) return fail(ParseError::TruncatedEcpri);
+  if ((b0 >> 4) != 1) return fail(ParseError::BadEcpriVersion);  // version 1
   EcpriHeader h;
   h.msg_type = static_cast<EcpriMsgType>(r.u8());
   h.payload_size = r.u16();
@@ -23,7 +28,7 @@ std::optional<EcpriHeader> EcpriHeader::parse(BufReader& r) {
   std::uint8_t sb = r.u8();
   h.e_bit = (sb & 0x80) != 0;
   h.sub_seq_id = std::uint8_t(sb & 0x7f);
-  if (!r.ok()) return std::nullopt;
+  if (!r.ok()) return fail(ParseError::TruncatedEcpri);
   return h;
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/bytes.h"
 #include "fronthaul/fh_config.h"
+#include "fronthaul/parse_error.h"
 
 namespace rb {
 
@@ -31,7 +32,8 @@ struct EcpriHeader {
   static constexpr std::size_t kWireSize = 8;
 
   void encode(BufWriter& w) const;
-  static std::optional<EcpriHeader> parse(BufReader& r);
+  static std::optional<EcpriHeader> parse(BufReader& r,
+                                          ParseError* err = nullptr);
 };
 
 }  // namespace rb

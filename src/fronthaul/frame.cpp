@@ -3,12 +3,17 @@
 namespace rb {
 
 std::optional<FhFrame> parse_frame(std::span<const std::uint8_t> frame,
-                                   const FhContext& ctx) {
+                                   const FhContext& ctx, ParseError* err) {
+  const auto fail = [&](ParseError e) {
+    if (err) *err = e;
+    return std::nullopt;
+  };
   BufReader r(frame);
   auto eth = EthHeader::parse(r);
-  if (!eth || eth->ethertype != kEtherTypeEcpri) return std::nullopt;
-  auto ec = EcpriHeader::parse(r);
-  if (!ec) return std::nullopt;
+  if (!eth) return fail(ParseError::TruncatedEth);
+  if (eth->ethertype != kEtherTypeEcpri) return fail(ParseError::NotEcpri);
+  auto ec = EcpriHeader::parse(r, err);
+  if (!ec) return std::nullopt;  // err already set
 
   // Restrict the reader to the eCPRI payload so trailing padding (Ethernet
   // minimum frame size) is not misparsed as sections.
@@ -16,22 +21,23 @@ std::optional<FhFrame> parse_frame(std::span<const std::uint8_t> frame,
   // consumed as part of EcpriHeader.
   const std::size_t payload_at = r.pos();
   const std::size_t app_len = ec->payload_size >= 4 ? ec->payload_size - 4 : 0;
-  if (frame.size() < payload_at + app_len) return std::nullopt;
+  if (frame.size() < payload_at + app_len)
+    return fail(ParseError::PayloadOverrun);
   BufReader app(frame.subspan(payload_at, app_len));
 
   FhFrame f;
   f.eth = *eth;
   f.ecpri = *ec;
   if (ec->msg_type == EcpriMsgType::RtControl) {
-    auto c = CPlaneMsg::parse(app);
+    auto c = CPlaneMsg::parse(app, err);
     if (!c) return std::nullopt;
     f.msg = std::move(*c);
   } else if (ec->msg_type == EcpriMsgType::IqData) {
-    auto u = parse_uplane(app, ctx, payload_at);
+    auto u = parse_uplane(app, ctx, payload_at, err);
     if (!u) return std::nullopt;
     f.msg = std::move(*u);
   } else {
-    return std::nullopt;
+    return fail(ParseError::UnknownEcpriType);
   }
   return f;
 }

@@ -38,8 +38,11 @@ struct FhFrame {
 
 /// Parse a full frame. Returns nullopt for anything that is not a valid
 /// eCPRI CUS-plane frame (the middleboxes forward such frames untouched).
+/// On failure the optional out-parameter reports the typed reason, so
+/// callers can count rejects per reason.
 std::optional<FhFrame> parse_frame(std::span<const std::uint8_t> frame,
-                                   const FhContext& ctx);
+                                   const FhContext& ctx,
+                                   ParseError* err = nullptr);
 
 /// Build a complete C-plane frame into `buf`; returns the frame length or
 /// 0 if the buffer is too small.

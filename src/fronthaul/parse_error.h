@@ -1,0 +1,53 @@
+// Typed parse-failure reasons for the fronthaul decoders.
+//
+// Every parser rejects malformed input by returning nullopt; the optional
+// ParseError out-parameter tells the caller *why*, so middleboxes can
+// count rejects per reason (and chaos tests can assert that corrupt
+// frames die in the parser, not in the datapath).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rb {
+
+enum class ParseError : std::uint8_t {
+  None = 0,
+  TruncatedEth,         // shorter than an Ethernet (+VLAN) header
+  NotEcpri,             // ethertype is not eCPRI (not necessarily an error)
+  BadEcpriVersion,      // eCPRI version nibble != 1
+  TruncatedEcpri,       // ran out of bytes inside the eCPRI header
+  UnknownEcpriType,     // message type neither IqData nor RtControl
+  PayloadOverrun,       // eCPRI payload_size exceeds the frame
+  TruncatedCplane,      // ran out of bytes in the C-plane common header
+  BadSectionType,       // C-plane section type not 1 or 3
+  TruncatedCSection,    // ran out of bytes inside a C-plane section
+  TruncatedUplane,      // ran out of bytes in the U-plane common header
+  TruncatedUSection,    // U-plane section header or IQ payload cut short
+  BadSectionGeometry,   // section PRB range exceeds any plausible grid
+  kCount
+};
+
+constexpr const char* parse_error_name(ParseError e) {
+  switch (e) {
+    case ParseError::None: return "none";
+    case ParseError::TruncatedEth: return "truncated_eth";
+    case ParseError::NotEcpri: return "not_ecpri";
+    case ParseError::BadEcpriVersion: return "bad_ecpri_version";
+    case ParseError::TruncatedEcpri: return "truncated_ecpri";
+    case ParseError::UnknownEcpriType: return "unknown_ecpri_type";
+    case ParseError::PayloadOverrun: return "payload_overrun";
+    case ParseError::TruncatedCplane: return "truncated_cplane";
+    case ParseError::BadSectionType: return "bad_section_type";
+    case ParseError::TruncatedCSection: return "truncated_csection";
+    case ParseError::TruncatedUplane: return "truncated_uplane";
+    case ParseError::TruncatedUSection: return "truncated_usection";
+    case ParseError::BadSectionGeometry: return "bad_section_geometry";
+    case ParseError::kCount: break;
+  }
+  return "unknown";
+}
+
+constexpr std::size_t kParseErrorCount = std::size_t(ParseError::kCount);
+
+}  // namespace rb

@@ -94,7 +94,12 @@ std::vector<std::vector<USectionData>> split_sections_for_mtu(
 }
 
 std::optional<UPlaneMsg> parse_uplane(BufReader& r, const FhContext& ctx,
-                                      std::size_t base_offset) {
+                                      std::size_t base_offset,
+                                      ParseError* err) {
+  const auto fail = [&](ParseError e) {
+    if (err) *err = e;
+    return std::nullopt;
+  };
   UPlaneMsg m;
   std::uint8_t b0 = r.u8();
   m.direction = (b0 & 0x80) ? Direction::Downlink : Direction::Uplink;
@@ -105,7 +110,12 @@ std::optional<UPlaneMsg> parse_uplane(BufReader& r, const FhContext& ctx,
   m.at.subframe = std::uint8_t((ssf >> 12) & 0xf);
   m.at.slot = std::uint8_t((ssf >> 6) & 0x3f);
   m.at.symbol = std::uint8_t(ssf & 0x3f);
-  if (!r.ok()) return std::nullopt;
+  if (!r.ok()) return fail(ParseError::TruncatedUplane);
+
+  // A corrupt startPrbu/numPrbu can claim a PRB range no real grid has;
+  // cap at the widest FR1 carrier (273 PRBs) or the context's own grid,
+  // whichever is larger, so honest frames always pass.
+  const int max_prbs = std::max(ctx.carrier_prbs, 273);
 
   // Sections run to the end of the eCPRI payload.
   while (r.remaining() > 0) {
@@ -122,10 +132,13 @@ std::optional<UPlaneMsg> parse_uplane(BufReader& r, const FhContext& ctx,
       s.comp = CompConfig::from_ud_comp_hdr(r.u8());
       r.skip(1);
     }
-    if (!r.ok()) return std::nullopt;
+    if (!r.ok()) return fail(ParseError::TruncatedUSection);
+    if (s.start_prb + s.num_prb > max_prbs)
+      return fail(ParseError::BadSectionGeometry);
     s.payload_len = std::size_t(s.num_prb) * s.comp.prb_bytes();
     s.payload_offset = base_offset + r.pos();
-    if (r.remaining() < s.payload_len) return std::nullopt;
+    if (r.remaining() < s.payload_len)
+      return fail(ParseError::TruncatedUSection);
     r.skip(s.payload_len);
     m.sections.push_back(s);
   }

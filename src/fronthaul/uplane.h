@@ -13,6 +13,7 @@
 #include "common/bytes.h"
 #include "common/timing.h"
 #include "fronthaul/fh_config.h"
+#include "fronthaul/parse_error.h"
 
 namespace rb {
 
@@ -61,7 +62,8 @@ bool encode_uplane(BufWriter& w, const UPlaneMsg& hdr,
 /// reader's start within the full frame buffer (payload offsets are
 /// reported absolute).
 std::optional<UPlaneMsg> parse_uplane(BufReader& r, const FhContext& ctx,
-                                      std::size_t base_offset);
+                                      std::size_t base_offset,
+                                      ParseError* err = nullptr);
 
 /// Fragment a section list across frames so no frame exceeds
 /// `max_frame_bytes` (e.g. wide-mantissa 100 MHz payloads overflow a 9 KB

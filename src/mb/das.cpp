@@ -1,8 +1,16 @@
 #include "mb/das.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace rb {
+
+namespace {
+/// Absolute slot index (mod the 256-frame wrap) of a radio time point.
+std::int64_t abs_slot(const SlotPoint& at, int spsf) {
+  return (std::int64_t(at.frame) * 10 + at.subframe) * spsf + at.slot;
+}
+}  // namespace
 
 void DasMiddlebox::on_frame(int in_port, PacketPtr p, FhFrame& frame,
                             MbContext& ctx) {
@@ -29,6 +37,10 @@ void DasMiddlebox::downlink(PacketPtr p, FhFrame& frame, MbContext& ctx) {
   (void)frame;
 }
 
+bool DasMiddlebox::group_done(std::uint64_t key) const {
+  return std::find(done_.begin(), done_.end(), key) != done_.end();
+}
+
 void DasMiddlebox::uplink(PacketPtr p, FhFrame& frame, MbContext& ctx) {
   if (!frame.is_uplane()) {
     // RUs only originate U-plane; anything else goes to the DU untouched.
@@ -43,6 +55,17 @@ void DasMiddlebox::uplink(PacketPtr p, FhFrame& frame, MbContext& ctx) {
     return;
   }
 
+  // A copy carrying a radio time other than the current slot straggled in
+  // after its group's slot ended (reorder hold across the boundary, or a
+  // severely delayed release); its group was already flushed.
+  const int spsf = slots_per_subframe(cfg_.scs);
+  const std::int64_t wrap = 256LL * 10 * spsf;
+  if (abs_slot(u.at, spsf) != ctx.slot() % wrap) {
+    ctx.telemetry().inc("das_late_copies");
+    ctx.drop(std::move(p));
+    return;
+  }
+
   // Cache until all RUs delivered this (symbol, antenna port) fragment
   // (A3). Fragmented jumbo payloads split deterministically, so the first
   // section's start PRB identifies matching fragments across RUs; the
@@ -51,10 +74,30 @@ void DasMiddlebox::uplink(PacketPtr p, FhFrame& frame, MbContext& ctx) {
       u.sections.empty() ? 0 : std::uint8_t(u.sections[0].start_prb & 0xff);
   const std::uint64_t key =
       PacketCache::key(u.at, frame.ecpri.eaxc, /*cplane=*/false, frag_tag);
+  if (group_done(key)) {
+    // The group was combined without this copy: too late to contribute.
+    ctx.telemetry().inc("das_late_copies");
+    ctx.drop(std::move(p));
+    return;
+  }
+
+  // Per-symbol deadline: any open group whose first copy is older than
+  // the deadline relative to this arrival will not complete in time -
+  // combine what it has. Oldest first; stop at the first fresh group.
+  if (cfg_.combine_deadline_ns > 0) {
+    while (!pending_.empty() &&
+           pending_.front().first_rx_ns + cfg_.combine_deadline_ns <
+               p->rx_time_ns) {
+      combine_group(pending_.front().key, ctx);
+    }
+  }
+
   ctx.charge_cache_op();
+  const std::int64_t rx_ns = p->rx_time_ns;
   ctx.cache().put(key, CachedPacket{std::move(p), frame, kSouth});
   auto* entries = ctx.cache().find(key);
-  if (!entries) return;
+  if (!entries) return;  // evicted under cap pressure
+  if (entries->size() == 1) pending_.push_back({key, rx_ns});
   std::size_t distinct_rus = 0;
   for (const auto& m : cfg_.ru_macs) {
     for (const auto& e : *entries) {
@@ -65,26 +108,59 @@ void DasMiddlebox::uplink(PacketPtr p, FhFrame& frame, MbContext& ctx) {
     }
   }
   if (distinct_rus < cfg_.ru_macs.size()) return;
+  combine_group(key, ctx);
+}
 
-  // All constituents arrived: element-wise IQ sum per section (A4).
+void DasMiddlebox::combine_group(std::uint64_t key, MbContext& ctx) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->key == key) {
+      pending_.erase(it);
+      break;
+    }
+  }
+  done_.push_back(key);
   auto batch = ctx.cache().take(key);
   ctx.charge_cache_op();
-  CachedPacket& primary = batch.front();
+  if (batch.empty()) return;
+
+  // Element-wise IQ sum per section (A4), one copy per distinct RU: a
+  // duplicated fronthaul frame must not double that RU's signal.
+  std::vector<CachedPacket*> copies;
+  copies.reserve(batch.size());
+  for (const auto& m : cfg_.ru_macs) {
+    for (auto& e : batch) {
+      if (e.frame.eth.src == m) {
+        copies.push_back(&e);
+        break;
+      }
+    }
+  }
+  if (batch.size() > copies.size())
+    ctx.telemetry().inc("das_duplicate_copies",
+                        std::uint64_t(batch.size() - copies.size()));
+  if (copies.empty()) {
+    // Copies from unknown sources only; nothing trustworthy to combine.
+    ctx.telemetry().inc("das_merge_failures");
+    for (auto& e : batch) ctx.drop(std::move(e.pkt));
+    return;
+  }
+
+  CachedPacket& primary = *copies.front();
   const auto& psec = primary.frame.uplane().sections;
-  bool ok = !batch.empty();
+  bool ok = true;
   for (std::size_t si = 0; ok && si < psec.size(); ++si) {
     std::vector<std::span<const std::uint8_t>> srcs;
-    srcs.reserve(batch.size());
-    for (auto& e : batch) {
-      const auto& esec = e.frame.uplane().sections;
+    srcs.reserve(copies.size());
+    for (auto* e : copies) {
+      const auto& esec = e->frame.uplane().sections;
       if (si >= esec.size() ||
           esec[si].num_prb != psec[si].num_prb ||
           esec[si].start_prb != psec[si].start_prb) {
         ok = false;
         break;
       }
-      srcs.push_back(e.pkt->data().subspan(esec[si].payload_offset,
-                                           esec[si].payload_len));
+      srcs.push_back(e->pkt->data().subspan(esec[si].payload_offset,
+                                            esec[si].payload_len));
     }
     if (!ok) break;
     // Merge into the primary packet's payload in place: same geometry,
@@ -102,10 +178,34 @@ void DasMiddlebox::uplink(PacketPtr p, FhFrame& frame, MbContext& ctx) {
     for (auto& e : batch) ctx.drop(std::move(e.pkt));
     return;
   }
-  ctx.telemetry().inc("das_merges");
+  if (copies.size() < cfg_.ru_macs.size()) {
+    ctx.telemetry().inc("das_partial_merges");
+    ctx.telemetry().inc("das_missing_copies",
+                        std::uint64_t(cfg_.ru_macs.size() - copies.size()));
+  } else {
+    ctx.telemetry().inc("das_merges");
+  }
   ctx.forward(std::move(primary.pkt), kNorth, cfg_.du_mac);
-  for (std::size_t i = 1; i < batch.size(); ++i)
-    ctx.drop(std::move(batch[i].pkt));  // A1 drop of the constituents
+  for (auto& e : batch) {
+    if (e.pkt) ctx.drop(std::move(e.pkt));  // A1 drop of the constituents
+  }
+}
+
+void DasMiddlebox::on_pump_idle(std::int64_t slot, MbContext& ctx) {
+  (void)slot;
+  // Everything that was going to arrive this phase has: flush every open
+  // group rather than letting it rot until the slot boundary.
+  while (!pending_.empty()) combine_group(pending_.front().key, ctx);
+}
+
+void DasMiddlebox::on_slot(std::int64_t slot, MbContext& ctx) {
+  (void)slot;
+  // The idle flush empties pending_ before the slot ends; anything left
+  // means the combiner stalled on a group (must stay zero).
+  if (!pending_.empty())
+    ctx.telemetry().inc("das_combiner_stalls", pending_.size());
+  pending_.clear();
+  done_.clear();
 }
 
 std::string DasMiddlebox::on_mgmt(const std::string& cmd) {
@@ -122,6 +222,20 @@ std::string DasMiddlebox::on_mgmt(const std::string& cmd) {
     is >> mac;
     cfg_.ru_macs.push_back(MacAddr::parse(mac));
     return "ok";
+  }
+  if (verb == "combine") {
+    std::ostringstream os;
+    os << "deadline_ns=" << cfg_.combine_deadline_ns
+       << " pending=" << pending_.size() << " done=" << done_.size() << "\n";
+    return os.str();
+  }
+  if (verb == "set-deadline") {
+    std::int64_t ns = 0;
+    if (is >> ns) {
+      cfg_.combine_deadline_ns = ns;
+      return "ok";
+    }
+    return "usage: set-deadline <ns>";
   }
   return "unknown command";
 }

@@ -6,6 +6,16 @@
 // once all RUs delivered, sum their IQ samples element-wise - decompress,
 // accumulate, recompress (action A4) - and forward the single combined
 // stream to the DU (action A1), dropping the constituents.
+//
+// Degraded mode: a combine group must never wait forever for a copy that
+// was lost on the fronthaul. Each group has a per-symbol deadline - when
+// a later arrival is more than `combine_deadline_ns` past the group's
+// first copy, or when the pump goes idle (everything that was going to
+// arrive this phase has), the group is combined from whatever copies made
+// it (das_partial_merges / das_missing_copies). Copies that straggle in
+// after their group was flushed, or that carry a stale slot, are dropped
+// and counted (das_late_copies). Duplicate copies from the same RU are
+// merged once (das_duplicate_copies).
 #pragma once
 
 #include <vector>
@@ -17,6 +27,12 @@ namespace rb {
 struct DasConfig {
   MacAddr du_mac = MacAddr::du(0);
   std::vector<MacAddr> ru_macs;  // the DAS distribution set
+  Scs scs = Scs::kHz30;          // for stale-slot detection on uplink
+  /// Per-symbol combine deadline: a group older than this (relative to
+  /// the newest uplink arrival) is combined partially. 0 disables the
+  /// watermark; the pump-idle flush still bounds every group to its slot
+  /// phase.
+  std::int64_t combine_deadline_ns = 150000;
 };
 
 class DasMiddlebox final : public MiddleboxApp {
@@ -35,14 +51,28 @@ class DasMiddlebox final : public MiddleboxApp {
     return ProcessingLocus::Userspace;
   }
   std::string on_mgmt(const std::string& cmd) override;
+  void on_slot(std::int64_t slot, MbContext& ctx) override;
+  void on_pump_idle(std::int64_t slot, MbContext& ctx) override;
 
   const DasConfig& config() const { return cfg_; }
 
  private:
+  /// An uplink combine group awaiting more RU copies.
+  struct Pending {
+    std::uint64_t key = 0;
+    std::int64_t first_rx_ns = 0;
+  };
+
   void downlink(PacketPtr p, FhFrame& frame, MbContext& ctx);
   void uplink(PacketPtr p, FhFrame& frame, MbContext& ctx);
+  /// Combine whatever copies a group has (dedup by RU) and forward the
+  /// sum north; counts full vs partial merges.
+  void combine_group(std::uint64_t key, MbContext& ctx);
+  bool group_done(std::uint64_t key) const;
 
   DasConfig cfg_;
+  std::vector<Pending> pending_;     // open groups, oldest first
+  std::vector<std::uint64_t> done_;  // groups already flushed this slot
 };
 
 }  // namespace rb

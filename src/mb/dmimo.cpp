@@ -1,5 +1,6 @@
 #include "mb/dmimo.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace rb {
@@ -9,6 +10,34 @@ DmimoMiddlebox::DmimoMiddlebox(DmimoConfig cfg) : cfg_(std::move(cfg)) {
     layer_base_.push_back(total_antennas_);
     total_antennas_ += ru.n_antennas;
   }
+  last_ul_slot_.assign(cfg_.rus.size(), -1);
+  ru_down_.assign(cfg_.rus.size(), false);
+}
+
+void DmimoMiddlebox::on_slot(std::int64_t slot, MbContext& ctx) {
+  (void)slot;
+  if (cfg_.ru_quiet_slots <= 0) return;
+  // An RU is down when its uplink has been quiet for the whole window
+  // while some partner kept talking; the loudest partner is live by
+  // construction, so service never collapses to zero RUs.
+  std::int64_t max_seen = -1;
+  for (std::int64_t v : last_ul_slot_) max_seen = std::max(max_seen, v);
+  int live = 0;
+  for (std::size_t i = 0; i < ru_down_.size(); ++i) {
+    const std::int64_t seen = last_ul_slot_[i];
+    const bool quiet =
+        max_seen >= 0 && max_seen - (seen < 0 ? -1 : seen) >
+                             std::int64_t(cfg_.ru_quiet_slots);
+    if (quiet && !ru_down_[i]) {
+      ru_down_[i] = true;
+      ctx.telemetry().inc("dmimo_ru_fallbacks");
+    } else if (!quiet && ru_down_[i]) {
+      ru_down_[i] = false;
+      ctx.telemetry().inc("dmimo_ru_recoveries");
+    }
+    if (!ru_down_[i]) ++live;
+  }
+  ctx.telemetry().set_gauge("dmimo_rus_live", live);
 }
 
 DmimoMiddlebox::PortMap DmimoMiddlebox::map_layer(int cell_layer) const {
@@ -42,8 +71,9 @@ void DmimoMiddlebox::on_frame(int in_port, PacketPtr p, FhFrame& frame,
 void DmimoMiddlebox::downlink(PacketPtr p, FhFrame& frame, MbContext& ctx) {
   const EaxcId eaxc = frame.ecpri.eaxc;
 
-  // PRACH control: replicate to every RU so whichever radio is nearest a
-  // joining UE captures its preamble.
+  // PRACH control: replicate to every RU (down ones included - control
+  // frames are the probe that lets a recovered RU answer again) so
+  // whichever radio is nearest a joining UE captures its preamble.
   if (eaxc.du_port != 0) {
     for (std::size_t i = 0; i + 1 < cfg_.rus.size(); ++i) {
       PacketPtr copy = ctx.replicate(*p);
@@ -59,6 +89,15 @@ void DmimoMiddlebox::downlink(PacketPtr p, FhFrame& frame, MbContext& ctx) {
   const PortMap m = map_layer(eaxc.ru_port);
   if (m.ru_index < 0) {
     ctx.telemetry().inc("dmimo_unmapped_layer");
+    ctx.drop(std::move(p));
+    return;
+  }
+  // Fewer-RU fallback: the partner's uplink is quiet; stop shipping IQ
+  // payloads to a radio that stopped serving - the surviving RUs carry
+  // the cell. C-plane still goes through: uplink is C-plane driven, so
+  // scheduling requests are exactly the probe that detects recovery.
+  if (ru_down(m.ru_index) && frame.is_uplane()) {
+    ctx.telemetry().inc("dmimo_fallback_drops");
     ctx.drop(std::move(p));
     return;
   }
@@ -133,6 +172,7 @@ void DmimoMiddlebox::uplink(PacketPtr p, FhFrame& frame, MbContext& ctx) {
     ctx.drop(std::move(p));
     return;
   }
+  last_ul_slot_[std::size_t(ru_index)] = ctx.slot();
   const EaxcId eaxc = frame.ecpri.eaxc;
   if (eaxc.du_port == 0) {
     const int cell_layer = layer_base_[std::size_t(ru_index)] + eaxc.ru_port;
@@ -163,6 +203,21 @@ std::string DmimoMiddlebox::on_mgmt(const std::string& cmd) {
     is >> v;
     cfg_.copy_ssb = v == "on";
     return "ok";
+  }
+  if (verb == "liveness") {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < cfg_.rus.size(); ++i)
+      os << "ru" << i << " last_ul_slot=" << last_ul_slot_[i]
+         << (ru_down_[i] ? " DOWN" : " up") << "\n";
+    return os.str();
+  }
+  if (verb == "set-quiet-slots") {
+    int v = 0;
+    if (is >> v) {
+      cfg_.ru_quiet_slots = v;
+      return "ok";
+    }
+    return "usage: set-quiet-slots <slots>";
   }
   return "unknown command";
 }

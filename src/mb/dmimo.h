@@ -31,6 +31,14 @@ struct DmimoConfig {
   int ssb_first_symbol = 2;
   int ssb_n_symbols = 4;
   bool copy_ssb = true;  // disable to demonstrate the detach failure mode
+  /// Partner-liveness window: an RU whose uplink has been quiet for this
+  /// many slots longer than the most recently heard partner is considered
+  /// down; its layers are suppressed (single/fewer-RU fallback) until it
+  /// speaks again. Relative to the loudest partner so an all-quiet phase
+  /// (no UL scheduled anywhere) never trips it; healthy RUs answer PRACH
+  /// occasions every ssb_period_slots, so the default covers one period
+  /// with margin. <= 0 disables the fallback.
+  int ru_quiet_slots = 24;
 };
 
 class DmimoMiddlebox final : public MiddleboxApp {
@@ -48,6 +56,7 @@ class DmimoMiddlebox final : public MiddleboxApp {
     return ProcessingLocus::Kernel;
   }
   std::string on_mgmt(const std::string& cmd) override;
+  void on_slot(std::int64_t slot, MbContext& ctx) override;
 
   /// Total antennas of the virtual RU.
   int total_antennas() const { return total_antennas_; }
@@ -58,6 +67,11 @@ class DmimoMiddlebox final : public MiddleboxApp {
   };
   PortMap map_layer(int cell_layer) const;
 
+  bool ru_down(int ru_index) const {
+    return ru_index >= 0 && ru_index < int(ru_down_.size()) &&
+           ru_down_[std::size_t(ru_index)];
+  }
+
  private:
   void downlink(PacketPtr p, FhFrame& frame, MbContext& ctx);
   void uplink(PacketPtr p, FhFrame& frame, MbContext& ctx);
@@ -66,6 +80,9 @@ class DmimoMiddlebox final : public MiddleboxApp {
   DmimoConfig cfg_;
   int total_antennas_ = 0;
   std::vector<int> layer_base_;  // first cell layer of each RU
+  // Partner-liveness fallback state.
+  std::vector<std::int64_t> last_ul_slot_;  // -1 = never heard
+  std::vector<bool> ru_down_;
 };
 
 }  // namespace rb

@@ -27,25 +27,51 @@ void FailoverMiddlebox::on_frame(int in_port, PacketPtr p, FhFrame& frame,
 
 void FailoverMiddlebox::on_slot(std::int64_t slot, MbContext& ctx) {
   current_slot_ = slot;
+  // Track the primary's uninterrupted healthy streak (fresh = emitted
+  // within the last slot); a single frame from a flapping primary starts
+  // a streak but does not survive the confirmation window.
+  const bool primary_fresh =
+      last_seen_slot_[kPrimary] >= 0 && slot - last_seen_slot_[kPrimary] <= 1;
+  if (primary_fresh) {
+    if (primary_fresh_since_ < 0) primary_fresh_since_ = slot;
+  } else {
+    primary_fresh_since_ = -1;
+  }
+  const bool dwell_ok =
+      last_switch_slot_ < 0 || slot - last_switch_slot_ >= cfg_.min_dwell_slots;
+
   const std::int64_t seen = last_seen_slot_[active_];
   if (seen >= 0 && slot - seen > cfg_.liveness_slots) {
-    // Heartbeat lost on the active side: switch over.
+    // Heartbeat lost on the active side: switch over (unless we just
+    // switched - a min-dwell guard against ping-pong between two
+    // half-dead DUs).
+    if (!dwell_ok) {
+      ctx.telemetry().inc("failover_dwell_suppressed");
+      return;
+    }
     const int dead = active_;
     active_ = active_ == kPrimary ? kStandby : kPrimary;
     // Only count it as a failover if the new side is actually alive.
     if (last_seen_slot_[active_] >= 0 &&
         slot - last_seen_slot_[active_] <= cfg_.liveness_slots) {
       ++failovers_;
+      last_switch_slot_ = slot;
       ctx.telemetry().inc("failover_switchovers");
       ctx.telemetry().set_gauge("failover_active", active_);
     } else {
       active_ = dead;  // nobody alive; stay put
     }
-  } else if (cfg_.failback && active_ == kStandby &&
-             last_seen_slot_[kPrimary] >= 0 &&
-             slot - last_seen_slot_[kPrimary] <= 1) {
-    // Primary is healthy again.
+  } else if (cfg_.failback && active_ == kStandby && primary_fresh) {
+    // Primary looks healthy again; fail back only once the streak spans
+    // the confirmation window and the dwell timer allows a switch.
+    const bool confirmed =
+        slot - primary_fresh_since_ + 1 >= cfg_.failback_confirm_slots;
+    if (!confirmed || !dwell_ok) {
+      ctx.telemetry().inc("failover_failback_deferred");
+      return;
+    }
     active_ = kPrimary;
+    last_switch_slot_ = slot;
     ctx.telemetry().inc("failover_failbacks");
     ctx.telemetry().set_gauge("failover_active", active_);
   }
@@ -60,6 +86,30 @@ std::string FailoverMiddlebox::on_mgmt(const std::string& cmd) {
   if (verb == "switch") {
     active_ = active_ == kPrimary ? kStandby : kPrimary;
     return "ok";
+  }
+  if (verb == "hysteresis") {
+    std::ostringstream os;
+    os << "min_dwell_slots=" << cfg_.min_dwell_slots
+       << " failback_confirm_slots=" << cfg_.failback_confirm_slots
+       << " last_switch_slot=" << last_switch_slot_
+       << " primary_fresh_since=" << primary_fresh_since_ << "\n";
+    return os.str();
+  }
+  if (verb == "set-dwell") {
+    int v = 0;
+    if (is >> v) {
+      cfg_.min_dwell_slots = v;
+      return "ok";
+    }
+    return "usage: set-dwell <slots>";
+  }
+  if (verb == "set-confirm") {
+    int v = 0;
+    if (is >> v) {
+      cfg_.failback_confirm_slots = v;
+      return "ok";
+    }
+    return "usage: set-confirm <slots>";
   }
   return "unknown command";
 }

@@ -23,6 +23,14 @@ struct FailoverConfig {
   int liveness_slots = 3;
   /// Automatically return to the primary once it emits again.
   bool failback = true;
+  /// Hysteresis against a flapping primary. A switch (either direction)
+  /// is suppressed until `min_dwell_slots` have passed since the last
+  /// one, and a failback additionally requires the primary to have been
+  /// continuously healthy for `failback_confirm_slots`. The defaults
+  /// (0 dwell, 1-slot confirmation) preserve the original
+  /// single-failure behaviour: one fresh primary frame fails back.
+  int min_dwell_slots = 0;
+  int failback_confirm_slots = 1;
 };
 
 class FailoverMiddlebox final : public MiddleboxApp {
@@ -52,6 +60,10 @@ class FailoverMiddlebox final : public MiddleboxApp {
   std::int64_t last_seen_slot_[3] = {-1, -1, -1};
   std::int64_t failovers_ = 0;
   std::int64_t current_slot_ = 0;
+  std::int64_t last_switch_slot_ = -1;
+  /// First slot of the primary's current uninterrupted healthy streak
+  /// (-1 while it is stale).
+  std::int64_t primary_fresh_since_ = -1;
 };
 
 }  // namespace rb

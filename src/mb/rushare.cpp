@@ -50,7 +50,62 @@ int popcount32(std::uint32_t m) {
   return n;
 }
 
+/// Every section must address PRBs inside `grid`. C-plane num_prb == 0
+/// means "whole carrier" (the widening encoding); a zero-PRB U-plane
+/// section carries no IQ and is garbage.
+bool sections_fit(const FhFrame& frame, int grid) {
+  if (frame.is_cplane()) {
+    for (const auto& s : frame.cplane().sections) {
+      if (s.start_prb >= grid) return false;
+      if (s.num_prb != 0 && s.start_prb + s.num_prb > grid) return false;
+    }
+    return true;
+  }
+  if (frame.is_uplane()) {
+    for (const auto& s : frame.uplane().sections) {
+      if (s.num_prb == 0 || s.start_prb + s.num_prb > grid) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+bool RuShareMiddlebox::quarantine(int in_port, const FhFrame& frame,
+                                  MbContext& ctx) const {
+  // A corrupted frame can still parse cleanly; in a multi-operator box it
+  // must never leak into another tenant's slice. Two semantic gates: the
+  // source MAC must match the port's owner, and every section must stay
+  // inside the owner's PRB grid.
+  if (in_port == kSouth) {
+    if (frame.eth.src != cfg_.ru_mac) {
+      ctx.telemetry().inc("rushare_quarantine_src_mac");
+      return true;
+    }
+    if (!sections_fit(frame, cfg_.ru_n_prb)) {
+      ctx.telemetry().inc("rushare_quarantine_geometry");
+      return true;
+    }
+    return false;
+  }
+  const int du = in_port - 1;
+  if (du < 0 || du >= int(cfg_.dus.size())) return false;  // dropped anyway
+  const auto& ducfg = cfg_.dus[std::size_t(du)];
+  if (frame.eth.src != ducfg.mac) {
+    ctx.telemetry().inc("rushare_quarantine_src_mac");
+    return true;
+  }
+  // PRACH (type-3) sections address the RU grid after freq translation and
+  // are matched by id, not PRB range; only validate type-1 and U-plane.
+  const bool prach =
+      frame.is_cplane() && frame.cplane().section_type == SectionType::Type3;
+  if (!prach && !sections_fit(frame, ducfg.n_prb)) {
+    ctx.telemetry().inc("rushare_quarantine_geometry");
+    return true;
+  }
+  return false;
+}
 
 bool RuShareMiddlebox::copy_slice(MbContext& ctx,
                                   std::span<const std::uint8_t> src,
@@ -65,6 +120,10 @@ bool RuShareMiddlebox::copy_slice(MbContext& ctx,
 
 void RuShareMiddlebox::on_frame(int in_port, PacketPtr p, FhFrame& frame,
                                 MbContext& ctx) {
+  if (quarantine(in_port, frame, ctx)) {
+    ctx.drop(std::move(p));
+    return;
+  }
   if (in_port == kSouth) {
     if (!frame.is_uplane()) {
       ctx.drop(std::move(p));  // the RU never originates C-plane

@@ -56,6 +56,12 @@ class RuShareMiddlebox final : public MiddleboxApp {
   const RuShareConfig& config() const { return cfg_; }
 
  private:
+  /// Semantic validation of a parsed frame: source MAC must match the
+  /// port's owner and all sections must stay inside the owner's PRB grid,
+  /// so a corrupted-but-parseable frame never leaks across tenant slices.
+  /// Counts rushare_quarantine_{src_mac,geometry} and returns true when
+  /// the frame must be dropped.
+  bool quarantine(int in_port, const FhFrame& frame, MbContext& ctx) const;
   void du_cplane(int du, PacketPtr p, FhFrame& frame, MbContext& ctx);
   void du_uplane(int du, PacketPtr p, FhFrame& frame, MbContext& ctx);
   void du_prach_cplane(int du, PacketPtr p, FhFrame& frame, MbContext& ctx);

@@ -12,6 +12,22 @@ void Port::connect(Port& a, Port& b, std::int64_t latency_ns) {
 bool Port::send(PacketPtr p) {
   if (!p) return false;
   if (!peer_ || !link_up_ || !peer_->link_up_) return false;  // dropped
+  if (!fault_) return inject(std::move(p));
+  // The hook may drop, hold, mutate or multiply the packet; deliver
+  // whatever it hands back.
+  fault_out_.clear();
+  fault_->on_tx(std::move(p), fault_out_);
+  bool delivered = false;
+  for (auto& q : fault_out_) {
+    if (q && inject(std::move(q))) delivered = true;
+  }
+  fault_out_.clear();
+  return delivered;
+}
+
+bool Port::inject(PacketPtr p) {
+  if (!p) return false;
+  if (!peer_ || !link_up_ || !peer_->link_up_) return false;  // dropped
   stats_.tx_packets++;
   stats_.tx_bytes += p->len();
   p->rx_time_ns += link_latency_ns_;

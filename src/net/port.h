@@ -23,6 +23,17 @@ struct PortStats {
   std::uint64_t rx_dropped = 0;  // RX queue overflow
 };
 
+/// Intercepts packets on their way from a port onto the wire (fault
+/// injection). The hook takes ownership of the outbound packet and pushes
+/// zero or more packets onto `out` for delivery: none (dropped or held for
+/// later), the original (possibly mutated: corrupted payload, extra
+/// latency), or extras (duplicates, previously held packets).
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  virtual void on_tx(PacketPtr p, std::vector<PacketPtr>& out) = 0;
+};
+
 /// A network port. Connect two ports with Port::connect(); a port either
 /// queues received packets (default) or hands them to an rx handler (used
 /// by switches to forward inline).
@@ -43,10 +54,20 @@ class Port {
   static void connect(Port& a, Port& b, std::int64_t latency_ns = 1000);
 
   bool connected() const { return peer_ != nullptr; }
+  Port* peer() const { return peer_; }
 
   /// Transmit a packet to the peer. Consumes the packet. Returns false
   /// (and drops) if the port is unwired or the peer queue is full.
   bool send(PacketPtr p);
+
+  /// Deliver a packet to the peer as if transmitted now, bypassing the
+  /// fault hook. Used by the fault layer to release held/duplicated
+  /// packets without re-perturbing them.
+  bool inject(PacketPtr p);
+
+  /// Install/remove a fault hook on this port's TX path (FaultyLink).
+  void set_fault_hook(FaultHook* h) { fault_ = h; }
+  FaultHook* fault_hook() const { return fault_; }
 
   /// Pop up to `max` received packets into `out`. Returns count.
   std::size_t rx_burst(std::vector<PacketPtr>& out, std::size_t max = 64);
@@ -82,6 +103,8 @@ class Port {
   std::function<void(PacketPtr)> rx_handler_;
   std::function<void(const Packet&)> tap_;
   PortStats stats_;
+  FaultHook* fault_ = nullptr;
+  std::vector<PacketPtr> fault_out_;  // scratch for hook results
   bool link_up_ = true;
 };
 

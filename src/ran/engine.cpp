@@ -17,6 +17,7 @@ void SlotEngine::run_one_slot_serial() {
 
   air_->begin_slot(slot);
   if (traffic_) traffic_(slot);
+  for (auto& h : begin_hooks_) h(slot);
   for (auto* mb : mbs_) mb->begin_slot(slot);
 
   for (auto* du : dus_) du->begin_slot(slot, t0);
@@ -221,6 +222,7 @@ void SlotEngine::run_one_slot_parallel() {
   // Single-threaded prologue: radio oracle, offered load, slot hooks.
   air_->begin_slot(slot);
   if (traffic_) traffic_(slot);
+  for (auto& h : begin_hooks_) h(slot);
   for (auto* mb : mbs_) mb->begin_slot(slot);
   for (auto* mb : mbs_) mb->flush_deferred_tx();
 

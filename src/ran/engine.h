@@ -89,6 +89,14 @@ class SlotEngine {
     traffic_ = std::move(hook);
   }
 
+  /// Register an extra begin-of-slot hook (fault links advance flap
+  /// schedules and release reorder holds here). Hooks run after the
+  /// traffic hook, before any entity's begin_slot, always on the
+  /// coordinator thread and in registration order.
+  void add_begin_slot_hook(std::function<void(std::int64_t)> hook) {
+    begin_hooks_.push_back(std::move(hook));
+  }
+
   void run_slots(int n);
   /// Run for a simulated duration.
   void run_ms(double ms);
@@ -139,6 +147,7 @@ class SlotEngine {
   std::vector<RuModel*> rus_;
   std::vector<Pumpable*> mbs_;
   std::function<void(std::int64_t)> traffic_;
+  std::vector<std::function<void(std::int64_t)>> begin_hooks_;
 
   exec::ExecPolicy policy_{};
   std::unique_ptr<exec::WorkerPool> pool_;

@@ -1,5 +1,7 @@
 #include "sim/deployment.h"
 
+#include <stdexcept>
+
 #include "exec/shard.h"
 
 namespace rb {
@@ -308,6 +310,27 @@ MiddleboxRuntime& Deployment::add_failover(DuHandle& primary,
   apps.push_back(std::move(app));
   runtimes.push_back(std::move(rt));
   return *runtimes.back();
+}
+
+FaultyLink& Deployment::add_fault(Port& near, const FaultPlan& tx_plan,
+                                  const FaultPlan& rx_plan, std::string name) {
+  Port* peer = near.peer();
+  if (!peer) throw std::runtime_error("add_fault: port is not connected");
+  if (name.empty())
+    name = "fault:" + near.name() + "<->" + peer->name();
+  faults.push_back(
+      std::make_unique<FaultyLink>(std::move(name), near, *peer, tx_plan,
+                                   rx_plan));
+  FaultyLink* link = faults.back().get();
+  engine.add_begin_slot_hook(
+      [link](std::int64_t slot) { link->begin_slot(slot); });
+  return *link;
+}
+
+std::string Deployment::fault_dump() const {
+  std::string out;
+  for (const auto& f : faults) out += f->dump();
+  return out;
 }
 
 UeId Deployment::add_ue(const Position& pos, DuHandle* du, double dl_mbps,

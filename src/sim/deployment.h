@@ -10,6 +10,7 @@
 
 #include "core/chain.h"
 #include "core/middlebox.h"
+#include "net/fault.h"
 #include "mb/das.h"
 #include "mb/dmimo.h"
 #include "mb/failover.h"
@@ -84,6 +85,18 @@ class Deployment {
                                  RuHandle& ru,
                                  DriverKind driver = DriverKind::Dpdk);
 
+  /// Attach a fault-injection plan to the link `near` is plugged into.
+  /// `tx_plan` perturbs frames leaving `near`, `rx_plan` frames arriving
+  /// at it (i.e. leaving the peer). The link must already be connected.
+  /// Scheduled flaps are driven from the engine's begin-of-slot hook, so
+  /// call this after the topology is built but before running slots.
+  FaultyLink& add_fault(Port& near, const FaultPlan& tx_plan,
+                        const FaultPlan& rx_plan = {}, std::string name = "");
+
+  /// Fixed-order dump of every fault link's counters, for determinism
+  /// snapshots and chaos-test fingerprints.
+  std::string fault_dump() const;
+
   /// UE with optional offered traffic through a DU.
   UeId add_ue(const Position& pos, DuHandle* du = nullptr,
               double dl_mbps = 0, double ul_mbps = 0, int pci_lock = -1,
@@ -114,6 +127,7 @@ class Deployment {
   std::vector<std::unique_ptr<RuModel>> rus;
   std::vector<std::unique_ptr<MiddleboxApp>> apps;
   std::vector<std::unique_ptr<MiddleboxRuntime>> runtimes;
+  std::vector<std::unique_ptr<FaultyLink>> faults;
 
   Port& new_port(const std::string& name);
   EmbeddedSwitch& new_switch(const std::string& name);

@@ -87,6 +87,50 @@ TEST(E2eFailover, FailbackWhenPrimaryReturns) {
   EXPECT_GT(rig.d.dl_mbps(rig.ue), 100.0);
 }
 
+TEST(E2eFailover, FlappingPrimaryCausesExactlyOneFailover) {
+  // A primary whose fronthaul link flaps every few slots used to bounce
+  // the RU between DUs on every revival; with hysteresis the middlebox
+  // switches once, rides out the storm on the standby, and fails back a
+  // single time once the primary is confirmed healthy.
+  FoRig rig;
+  ASSERT_TRUE(rig.d.attach_all(600));
+  rig.mb->on_mgmt("set-dwell 60");
+  rig.mb->on_mgmt("set-confirm 20");
+
+  const std::int64_t s0 = rig.d.engine.current_slot();
+  FaultPlan flappy;  // DU->middlebox heartbeat direction
+  flappy.flaps = {{s0 + 5, s0 + 15}, {s0 + 17, s0 + 27}, {s0 + 29, s0 + 39}};
+  rig.d.add_fault(*rig.primary.port, flappy);
+
+  rig.d.engine.run_slots(50);
+  EXPECT_EQ(rig.mb->active_port(), FailoverMiddlebox::kStandby);
+  EXPECT_EQ(rig.mb->failovers(), 1) << "flap storm must not ping-pong";
+
+  // The primary is stable from slot s0+39 on; exactly one failback, and
+  // only after the confirmation window.
+  rig.d.engine.run_slots(100);
+  EXPECT_EQ(rig.mb->active_port(), FailoverMiddlebox::kPrimary);
+  EXPECT_EQ(rig.mb->failovers(), 1);
+  rig.d.measure(200);
+  EXPECT_GT(rig.d.dl_mbps(rig.ue), 100.0);
+}
+
+TEST(E2eFailover, FailbackWaitsForConfirmation) {
+  FoRig rig;
+  ASSERT_TRUE(rig.d.attach_all(600));
+  rig.mb->on_mgmt("set-confirm 30");
+  rig.primary.du->set_failed(true);
+  rig.d.engine.run_slots(10);
+  ASSERT_EQ(rig.mb->active_port(), FailoverMiddlebox::kStandby);
+
+  rig.primary.du->set_failed(false);
+  rig.d.engine.run_slots(10);
+  EXPECT_EQ(rig.mb->active_port(), FailoverMiddlebox::kStandby)
+      << "a freshly revived primary is not yet trusted";
+  rig.d.engine.run_slots(40);
+  EXPECT_EQ(rig.mb->active_port(), FailoverMiddlebox::kPrimary);
+}
+
 TEST(E2eFailover, NoSwitchoverWhenStandbyAlsoDead) {
   FoRig rig;
   ASSERT_TRUE(rig.d.attach_all(600));

@@ -330,6 +330,102 @@ TEST(Frame, TruncationFuzz) {
   }
 }
 
+/// Every rejected truncation reports a typed reason, and the reason
+/// matches the layer the cut landed in.
+TEST(Frame, TruncationSetsTypedReason) {
+  FhContext ctx = ctx273();
+  auto payload = compressed_payload(40, ctx.comp, 4);
+  UPlaneMsg hdr;
+  hdr.direction = Direction::Downlink;
+  USectionData sec;
+  sec.num_prb = 40;
+  sec.payload = payload;
+  std::vector<std::uint8_t> buf(9216);
+  const std::size_t len = build_uplane_frame(
+      buf, EthHeader{}, EaxcId{}, 0, hdr, std::span(&sec, 1), ctx);
+  buf.resize(len);
+  for (std::size_t cut = 0; cut < len; ++cut) {
+    ParseError err = ParseError::None;
+    auto r = parse_frame(std::span<const std::uint8_t>(buf.data(), cut), ctx,
+                         &err);
+    ASSERT_FALSE(r.has_value()) << "accepted truncation at " << cut;
+    EXPECT_NE(err, ParseError::None) << "untyped rejection at " << cut;
+    EXPECT_NE(parse_error_name(err), nullptr);
+    if (cut < 14) EXPECT_EQ(err, ParseError::TruncatedEth) << "at " << cut;
+  }
+}
+
+TEST(Frame, UnknownEcpriTypeSetsTypedReason) {
+  FhContext ctx = ctx273();
+  auto payload = compressed_payload(10, ctx.comp, 2);
+  UPlaneMsg hdr;
+  USectionData sec;
+  sec.num_prb = 10;
+  sec.payload = payload;
+  std::vector<std::uint8_t> buf(9216);
+  const std::size_t len = build_uplane_frame(
+      buf, EthHeader{}, EaxcId{}, 0, hdr, std::span(&sec, 1), ctx);
+  buf.resize(len);
+  // eCPRI starts after the 18-byte VLAN-tagged Ethernet header.
+  buf[19] = 0x7f;  // eCPRI message type, right after the version byte
+  ParseError err = ParseError::None;
+  EXPECT_FALSE(parse_frame(buf, ctx, &err).has_value());
+  EXPECT_EQ(err, ParseError::UnknownEcpriType);
+
+  buf[18] = 0x40;  // bogus eCPRI version nibble
+  err = ParseError::None;
+  EXPECT_FALSE(parse_frame(buf, ctx, &err).has_value());
+  EXPECT_EQ(err, ParseError::BadEcpriVersion);
+}
+
+TEST(Frame, SectionBeyondCarrierGridRejected) {
+  FhContext ctx = ctx273();
+  auto payload = compressed_payload(40, ctx.comp, 3);
+  UPlaneMsg hdr;
+  hdr.direction = Direction::Uplink;
+  USectionData sec;
+  sec.start_prb = 260;  // 260 + 40 > 273: off the carrier grid
+  sec.num_prb = 40;
+  sec.payload = payload;
+  std::vector<std::uint8_t> buf(9216);
+  const std::size_t len = build_uplane_frame(
+      buf, EthHeader{}, EaxcId{}, 0, hdr, std::span(&sec, 1), ctx);
+  ASSERT_GT(len, 0u);
+  buf.resize(len);
+  ParseError err = ParseError::None;
+  EXPECT_FALSE(parse_frame(buf, ctx, &err).has_value());
+  EXPECT_EQ(err, ParseError::BadSectionGeometry);
+}
+
+/// Property: a random bit flip either still parses or reports a typed
+/// reason - never an untyped rejection, never a crash or overread.
+TEST(Frame, ByteFlipFuzzAlwaysTypesRejections) {
+  FhContext ctx = ctx273();
+  auto payload = compressed_payload(10, ctx.comp, 5);
+  UPlaneMsg hdr;
+  USectionData sec;
+  sec.num_prb = 10;
+  sec.payload = payload;
+  std::vector<std::uint8_t> buf(9216);
+  const std::size_t len = build_uplane_frame(
+      buf, EthHeader{}, EaxcId{}, 0, hdr, std::span(&sec, 1), ctx);
+  buf.resize(len);
+  std::mt19937 rng(7);
+  int rejected = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    auto copy = buf;
+    copy[rng() % copy.size()] ^= std::uint8_t(1u << (rng() % 8));
+    ParseError err = ParseError::None;
+    auto r = parse_frame(copy, ctx, &err);
+    if (!r.has_value()) {
+      ++rejected;
+      EXPECT_NE(err, ParseError::None);
+      EXPECT_LT(std::size_t(err), std::size_t(ParseError::kCount));
+    }
+  }
+  EXPECT_GT(rejected, 0);  // flips in length/type fields do get caught
+}
+
 TEST(Frame, ByteFlipFuzzDoesNotCrash) {
   FhContext ctx = ctx273();
   auto payload = compressed_payload(10, ctx.comp, 5);

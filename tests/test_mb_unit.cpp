@@ -109,16 +109,19 @@ TEST(DasUnit, UplinkMergeSumsConstituents) {
   DasMiddlebox app(cfg);
   Harness h(app, 2, ctx);
 
+  // Radio time (frame 1, subframe 2, slot 0) = absolute slot 24 at kHz30;
+  // the combiner's stale-copy gate needs the pump slot to match.
   const SlotPoint at{1, 2, 0, 0};
+  const std::int64_t slot = 24;
   const EaxcId eaxc{0, 0, 0, 0};
   h.ext[1]->send(uplane_pkt(ctx, Direction::Uplink, at, eaxc, 0, 4, 1000,
                             MacAddr::ru(0)));
-  h.rt.pump(0, 0);
+  h.rt.pump(slot, 0);
   EXPECT_TRUE(h.drain(DasMiddlebox::kNorth).empty());  // still caching
 
   h.ext[1]->send(uplane_pkt(ctx, Direction::Uplink, at, eaxc, 0, 4, 500,
                             MacAddr::ru(1)));
-  h.rt.pump(0, 0);
+  h.rt.pump(slot, 0);
   auto out = h.drain(DasMiddlebox::kNorth);
   ASSERT_EQ(out.size(), 1u);
   auto f = parse_frame(out[0]->data(), ctx);
@@ -141,13 +144,13 @@ TEST(DasUnit, MismatchedGeometryCountsFailure) {
   cfg.ru_macs = {MacAddr::ru(0), MacAddr::ru(1)};
   DasMiddlebox app(cfg);
   Harness h(app, 2, ctx);
-  const SlotPoint at{1, 2, 0, 0};
+  const SlotPoint at{1, 2, 0, 0};  // absolute slot 24 at kHz30
   const EaxcId eaxc{0, 0, 0, 0};
   h.ext[1]->send(uplane_pkt(ctx, Direction::Uplink, at, eaxc, 0, 4, 1000,
                             MacAddr::ru(0)));
   h.ext[1]->send(uplane_pkt(ctx, Direction::Uplink, at, eaxc, 0, 6, 500,
                             MacAddr::ru(1)));  // different n_prb
-  h.rt.pump(0, 0);
+  h.rt.pump(24, 0);
   EXPECT_TRUE(h.drain(DasMiddlebox::kNorth).empty());
   EXPECT_EQ(h.rt.telemetry().counter("das_merge_failures"), 1u);
 }
