@@ -1,0 +1,21 @@
+// Thread-role flags used to debug-assert threading contracts.
+//
+// The exec worker pool marks its threads at startup; code that must only
+// run on the coordinator (e.g. Telemetry::publish/subscribe under
+// ExecPolicy::parallel) asserts !on_exec_worker_thread().
+#pragma once
+
+namespace rb {
+
+namespace detail {
+inline thread_local bool t_exec_worker = false;
+}  // namespace detail
+
+/// True on threads owned by exec::WorkerPool, false on the coordinator
+/// (and any other) thread.
+inline bool on_exec_worker_thread() { return detail::t_exec_worker; }
+
+/// Called once by each pool worker as it starts. Not for general use.
+inline void mark_exec_worker_thread() { detail::t_exec_worker = true; }
+
+}  // namespace rb

@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "obs/export.h"
+#include "obs/obs.h"
+
 namespace rb {
 
 std::string MgmtEndpoint::handle(const std::string& cmd) {
@@ -23,6 +26,26 @@ std::string MgmtEndpoint::handle(const std::string& cmd) {
     std::string key;
     is >> key;
     return std::to_string(rt_->telemetry().gauge(key));
+  }
+  if (verb == "obs") {
+    // Observability exporters: process-wide collector, queryable through
+    // any middlebox's management endpoint.
+    std::string what;
+    is >> what;
+    auto& col = obs::Collector::instance();
+    if (what == "trace") return obs::chrome_trace_json(col);
+    if (what == "prom") return obs::prometheus_text(col);
+    if (what == "csv") return obs::budget_csv(col);
+    if (what == "stats" || what.empty()) return obs::summary(col);
+    if (what == "start") {
+      col.start();
+      return "ok";
+    }
+    if (what == "stop") {
+      col.stop();
+      return "ok";
+    }
+    return "unknown obs subcommand (trace|prom|csv|stats|start|stop)";
   }
   // Everything else goes to the application.
   return rt_->app().on_mgmt(cmd);

@@ -103,11 +103,25 @@ class MbContext {
   std::int64_t slot() const { return slot_; }
   std::int64_t slot_start_ns() const { return slot_start_ns_; }
 
+  /// Modeled cost accumulated so far for the current packet (ns). Pair
+  /// with trace_span() to attribute an app-level phase.
+  double cost_ns() const { return cost_ns_; }
+  /// Emit an obs Combine span covering [cost_begin, cost_ns()) of this
+  /// packet's modeled time, on the runtime's track. `name` is an
+  /// obs-interned name id; no-op while obs is disabled.
+  void trace_span(std::uint16_t name, double cost_begin,
+                  std::uint64_t arg = 0);
+
  private:
   friend class MiddleboxRuntime;
   MbContext(MiddleboxRuntime* rt, int in_port, std::int64_t slot,
             std::int64_t slot_start_ns)
-      : rt_(rt), in_port_(in_port), slot_(slot), slot_start_ns_(slot_start_ns) {}
+      : rt_(rt), in_port_(in_port), slot_(slot), slot_start_ns_(slot_start_ns),
+        start_ns_(slot_start_ns) {}
+
+  /// Emit an obs Action event covering [cost_begin, cost_ns()).
+  void trace_action(std::uint16_t name, double cost_begin,
+                    std::uint64_t arg = 0);
 
   MiddleboxRuntime* rt_;
   int in_port_;
@@ -244,6 +258,7 @@ class MiddleboxRuntime final : public Pumpable {
   HotCounters hot_;
   bool defer_tx_ = false;
   std::vector<std::pair<PacketPtr, int>> deferred_tx_;
+  std::uint16_t obs_track_ = 0;  // obs track id for this runtime's spans
   std::int64_t cpu_window_start_ns_ = 0;
   std::int64_t slot_max_latency_ns_ = 0;
   std::int64_t last_slot_max_latency_ns_ = 0;

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "iq/prb.h"
+#include "obs/obs.h"
 
 namespace rb {
 namespace {
@@ -15,10 +16,28 @@ thread_local PrbScratch g_scratch;
 // MbContext: the action facade
 // ----------------------------------------------------------------------
 
+void MbContext::trace_action(std::uint16_t name, double cost_begin,
+                             std::uint64_t arg) {
+  if (!obs::enabled()) return;
+  obs::emit(obs::Cat::Action, name, rt_->obs_track_,
+            start_ns_ + std::int64_t(cost_begin),
+            std::uint32_t(cost_ns_ - cost_begin), arg);
+}
+
+void MbContext::trace_span(std::uint16_t name, double cost_begin,
+                           std::uint64_t arg) {
+  if (!obs::enabled()) return;
+  obs::emit(obs::Cat::Combine, name, rt_->obs_track_,
+            start_ns_ + std::int64_t(cost_begin),
+            std::uint32_t(cost_ns_ - cost_begin), arg);
+}
+
 void MbContext::forward(PacketPtr p, int out_port,
                         std::optional<MacAddr> dst,
                         std::optional<MacAddr> src) {
   if (!p) return;
+  const double c0 = cost_ns_;
+  const std::size_t len = p->len();
   if (dst || src) {
     rewrite_eth_addrs(p->raw().first(p->len()), dst, src);
     cost_ns_ += rt_->cfg_.work.hdr_rewrite_ns;
@@ -26,15 +45,18 @@ void MbContext::forward(PacketPtr p, int out_port,
   cost_ns_ += rt_->cfg_.work.forward_ns;
   tx_queue_.emplace_back(std::move(p), out_port);
   rt_->telemetry_.inc(rt_->hot_.pkts_forwarded);
+  trace_action(obs::kNA1Forward, c0, len);
 }
 
 void MbContext::drop(PacketPtr p) {
   if (!p) return;
   rt_->telemetry_.inc(rt_->hot_.pkts_dropped);
+  trace_action(obs::kNA1Drop, cost_ns_, p->len());
   // PacketPtr destructor returns the buffer to the pool.
 }
 
 PacketPtr MbContext::replicate(const Packet& p) {
+  const double c0 = cost_ns_;
   PacketPtr c = rt_->pool_.clone(p);
   if (!c) {
     rt_->telemetry_.inc(rt_->hot_.replicate_failures);
@@ -43,18 +65,23 @@ PacketPtr MbContext::replicate(const Packet& p) {
   cost_ns_ += rt_->cfg_.work.clone_base_ns +
               rt_->cfg_.work.clone_per_kb_ns * double(p.len()) / 1024.0;
   rt_->telemetry_.inc(rt_->hot_.pkts_replicated);
+  trace_action(obs::kNA2Replicate, c0, p.len());
   return c;
 }
 
 PacketCache& MbContext::cache() { return rt_->cache_; }
 
 void MbContext::charge_cache_op() {
+  const double c0 = cost_ns_;
   cost_ns_ += rt_->cfg_.work.cache_op_ns;
   rt_->telemetry_.inc(rt_->hot_.cache_ops);
+  trace_action(obs::kNA3Cache, c0);
 }
 
 bool MbContext::rewrite_eaxc(Packet& p, const EaxcId& eaxc) {
+  const double c0 = cost_ns_;
   cost_ns_ += rt_->cfg_.work.hdr_rewrite_ns;
+  trace_action(obs::kNA4Rewrite, c0);
   return ::rb::rewrite_eaxc(p.raw().first(p.len()), eaxc);
 }
 
@@ -70,17 +97,21 @@ std::uint8_t MbContext::prb_exponent(const Packet& p, const USection& sec,
 std::size_t MbContext::merge_payloads(
     std::span<const std::span<const std::uint8_t>> srcs, int n_prb,
     const CompConfig& cfg, std::span<std::uint8_t> dst) {
+  const double c0 = cost_ns_;
   cost_ns_ += double(n_prb) *
               (rt_->cfg_.work.per_prb_decompress_ns * double(srcs.size()) +
                rt_->cfg_.work.per_prb_compress_ns);
   rt_->telemetry_.inc(rt_->hot_.iq_merges);
+  trace_action(obs::kNA4Merge, c0, std::uint64_t(n_prb));
   return merge_compressed(srcs, n_prb, cfg, dst, g_scratch);
 }
 
 bool MbContext::copy_prbs(std::span<const std::uint8_t> src, int src_prb,
                           std::span<std::uint8_t> dst, int dst_prb, int n_prb,
                           const CompConfig& cfg) {
+  const double c0 = cost_ns_;
   cost_ns_ += rt_->cfg_.work.per_prb_copy_ns * double(n_prb);
+  trace_action(obs::kNA4Copy, c0, std::uint64_t(n_prb));
   return copy_prbs_aligned(src, src_prb, dst, dst_prb, n_prb, cfg);
 }
 
@@ -89,13 +120,19 @@ bool MbContext::copy_prbs_misaligned(std::span<const std::uint8_t> src,
                                      std::span<std::uint8_t> dst, int dst_prb,
                                      int n_prb, int shift_sc,
                                      const CompConfig& cfg) {
+  const double c0 = cost_ns_;
   cost_ns_ += double(n_prb) * (rt_->cfg_.work.per_prb_decompress_ns * 2 +
                                rt_->cfg_.work.per_prb_compress_ns);
+  trace_action(obs::kNA4Copy, c0, std::uint64_t(n_prb));
   return copy_prbs_shifted(src, src_prb, dst, dst_prb, n_prb, shift_sc, cfg,
                            g_scratch);
 }
 
-void MbContext::charge(double ns) { cost_ns_ += ns; }
+void MbContext::charge(double ns) {
+  const double c0 = cost_ns_;
+  cost_ns_ += ns;
+  trace_action(obs::kNCharge, c0);
+}
 
 PacketPtr MbContext::alloc_packet() {
   PacketPtr p = rt_->pool_.alloc();
@@ -145,6 +182,7 @@ MiddleboxRuntime::MiddleboxRuntime(Config cfg, MiddleboxApp& app)
     hot_.parse_reject[i] = telemetry_.intern(
         std::string("parse_reject_") + parse_error_name(ParseError(i)));
   cache_.set_max_entries(cfg_.cache_max_entries);
+  obs_track_ = obs::Collector::instance().intern_track("mb." + cfg_.name);
 }
 
 int MiddleboxRuntime::add_port(const std::string& name, Port& port,
@@ -191,6 +229,12 @@ void MiddleboxRuntime::begin_slot(std::int64_t slot) {
 }
 
 void MiddleboxRuntime::send_or_defer(int out, PacketPtr pkt) {
+  // Emitted here (not at flush) so the serial direct path and the
+  // parallel deferred path trace the identical Tx instant: the
+  // timestamp is the packet's modeled departure, fixed before deferral.
+  if (obs::enabled())
+    obs::emit(obs::Cat::Tx, obs::kNTx, obs_track_, pkt->rx_time_ns, 0,
+              std::uint64_t(out));
   if (defer_tx_)
     deferred_tx_.emplace_back(std::move(pkt), out);
   else
@@ -217,9 +261,15 @@ void MiddleboxRuntime::process_packet(int in_port, PacketPtr p,
 
   MbContext ctx(this, in_port, slot, slot_start_ns);
   ctx.start_ns_ = start;
+  const std::size_t plen = p->len();
 
   ParseError perr = ParseError::None;
   auto frame = parse_frame(p->data(), port_fh_[std::size_t(in_port)], &perr);
+  const bool is_fh = bool(frame);
+  const bool is_cp = is_fh && frame->is_cplane();
+  if (obs::enabled())
+    obs::emit(obs::Cat::Parse, is_fh ? obs::kNParseOk : obs::kNParseReject,
+              obs_track_, start, 0, std::uint64_t(perr));
   ProcessingLocus locus = ProcessingLocus::Userspace;
   if (frame) {
     locus = app_->locus(*frame);
@@ -244,6 +294,11 @@ void MiddleboxRuntime::process_packet(int in_port, PacketPtr p,
   const std::int64_t cost = std::int64_t(ctx.cost_ns_);
   drivers_[std::size_t(in_port)]->charge_handler(cost, locus);
   const std::int64_t done = start + cost;
+  if (obs::enabled())
+    obs::emit(obs::Cat::Packet,
+              is_fh ? (is_cp ? obs::kNPacketC : obs::kNPacketU)
+                    : obs::kNPacketOther,
+              obs_track_, start, std::uint32_t(cost), plen);
   worker_free_at_[w] = done;
   slot_max_latency_ns_ = std::max(slot_max_latency_ns_, done - slot_start_ns);
 

@@ -7,7 +7,7 @@ namespace rb {
 std::string Telemetry::dump() const {
   std::ostringstream os;
   for (const auto& [k, v] : counters()) os << k << "=" << v << "\n";
-  for (const auto& [k, v] : gauges_) os << k << "=" << v << "\n";
+  for (const auto& [k, v] : gauges()) os << k << "=" << v << "\n";
   return os.str();
 }
 

@@ -4,17 +4,21 @@
 // channel that external applications subscribe to (the paper's PRB monitor
 // pushes sub-millisecond utilization samples through this).
 //
-// Counters are interned: the hot path increments a dense CounterId slot
-// (one array add, no string hashing or map walk per packet); the string
-// API remains as a thin wrapper for cold paths, management and tests.
+// Counters and gauges are interned: the hot path touches a dense
+// CounterId/GaugeId slot (one array op, no string hashing or map walk per
+// packet); the string API remains as a thin wrapper for cold paths,
+// management and tests.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/thread_flags.h"
 
 namespace rb {
 
@@ -27,9 +31,10 @@ struct TelemetrySample {
 
 class Telemetry {
  public:
-  /// Dense handle of an interned counter. Valid for the lifetime of this
-  /// Telemetry instance.
+  /// Dense handle of an interned counter/gauge. Valid for the lifetime
+  /// of this Telemetry instance.
   using CounterId = std::uint32_t;
+  using GaugeId = std::uint32_t;
 
   /// Intern a counter name (idempotent): returns its stable handle.
   CounterId intern(const std::string& name) {
@@ -42,12 +47,38 @@ class Telemetry {
     return id;
   }
 
+  /// Intern a gauge name (idempotent): returns its stable handle.
+  GaugeId intern_gauge(const std::string& name) {
+    auto it = gauge_index_.find(name);
+    if (it != gauge_index_.end()) return it->second;
+    const GaugeId id = GaugeId(gauge_values_.size());
+    gauge_index_.emplace(name, id);
+    gauge_names_.push_back(name);
+    gauge_values_.push_back(0.0);
+    return id;
+  }
+
   // --- hot path -------------------------------------------------------
+  // Out-of-range ids (a handle from a different Telemetry instance) are
+  // a caller bug: asserted in debug builds, a checked no-op/zero in
+  // release — inc() and counter() deliberately behave symmetrically.
   void inc(CounterId id, std::uint64_t v = 1) {
+    assert(id < values_.size() && "CounterId from another instance?");
+    if (id >= values_.size()) return;
     values_[std::size_t(id)] += v;
   }
   std::uint64_t counter(CounterId id) const {
+    assert(id < values_.size() && "CounterId from another instance?");
     return id < values_.size() ? values_[std::size_t(id)] : 0;
+  }
+  void set_gauge(GaugeId id, double v) {
+    assert(id < gauge_values_.size() && "GaugeId from another instance?");
+    if (id >= gauge_values_.size()) return;
+    gauge_values_[std::size_t(id)] = v;
+  }
+  double gauge(GaugeId id) const {
+    assert(id < gauge_values_.size() && "GaugeId from another instance?");
+    return id < gauge_values_.size() ? gauge_values_[std::size_t(id)] : 0.0;
   }
 
   // --- string API (thin wrapper over the interned store) --------------
@@ -59,21 +90,37 @@ class Telemetry {
     return it == index_.end() ? 0 : values_[std::size_t(it->second)];
   }
 
-  void set_gauge(const std::string& name, double v) { gauges_[name] = v; }
+  void set_gauge(const std::string& name, double v) {
+    set_gauge(intern_gauge(name), v);
+  }
   double gauge(const std::string& name) const {
-    auto it = gauges_.find(name);
-    return it == gauges_.end() ? 0.0 : it->second;
+    auto it = gauge_index_.find(name);
+    return it == gauge_index_.end() ? 0.0
+                                    : gauge_values_[std::size_t(it->second)];
   }
 
   /// Publish a streaming sample to all subscribers. Index-iterated over a
   /// pre-snapshot count so a subscriber that subscribes from inside its
   /// callback neither invalidates the traversal nor receives the sample
   /// being published — it sees subsequent samples only.
+  ///
+  /// Threading contract: publish() and subscribe() are coordinator-only.
+  /// Under ExecPolicy::parallel, middlebox handlers run on pool workers
+  /// but never publish from them — apps buffer samples during the slot
+  /// and publish from on_slot()/pump hooks, which the engine invokes at
+  /// the slot barrier with all workers parked. The callback list is
+  /// therefore never touched concurrently and needs no lock.
   void publish(const TelemetrySample& s) {
+    assert(!on_exec_worker_thread() &&
+           "publish() is coordinator-only; buffer samples until the "
+           "slot barrier");
     const std::size_t n = subscribers_.size();
     for (std::size_t i = 0; i < n; ++i) subscribers_[i](s);
   }
   void subscribe(std::function<void(const TelemetrySample&)> cb) {
+    assert(!on_exec_worker_thread() &&
+           "subscribe() is coordinator-only; register before run or at "
+           "the slot barrier");
     subscribers_.push_back(std::move(cb));
   }
 
@@ -83,7 +130,13 @@ class Telemetry {
     for (std::size_t i = 0; i < names_.size(); ++i) out[names_[i]] = values_[i];
     return out;
   }
-  const std::map<std::string, double>& gauges() const { return gauges_; }
+  /// Name-sorted snapshot of all gauges (management/test view).
+  std::map<std::string, double> gauges() const {
+    std::map<std::string, double> out;
+    for (std::size_t i = 0; i < gauge_names_.size(); ++i)
+      out[gauge_names_[i]] = gauge_values_[i];
+    return out;
+  }
 
   /// Render all counters/gauges as "key=value" lines (management dump).
   std::string dump() const;
@@ -92,7 +145,9 @@ class Telemetry {
   std::unordered_map<std::string, CounterId> index_;
   std::vector<std::string> names_;
   std::vector<std::uint64_t> values_;
-  std::map<std::string, double> gauges_;
+  std::unordered_map<std::string, GaugeId> gauge_index_;
+  std::vector<std::string> gauge_names_;
+  std::vector<double> gauge_values_;
   std::vector<std::function<void(const TelemetrySample&)>> subscribers_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "common/thread_flags.h"
+
 namespace rb::exec {
 namespace {
 
@@ -86,6 +88,7 @@ void WorkerPool::run(std::span<const Job> jobs) {
 }
 
 void WorkerPool::worker_main(int w) {
+  rb::mark_exec_worker_thread();
   auto& ctx = *workers_[std::size_t(w)];
   while (true) {
     Job j;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace rb {
 
 namespace {
@@ -112,6 +114,9 @@ void DasMiddlebox::uplink(PacketPtr p, FhFrame& frame, MbContext& ctx) {
 }
 
 void DasMiddlebox::combine_group(std::uint64_t key, MbContext& ctx) {
+  static const std::uint16_t kSpanName =
+      obs::Collector::instance().intern_name("das.combine");
+  const double c0 = ctx.cost_ns();
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
     if (it->key == key) {
       pending_.erase(it);
@@ -189,6 +194,7 @@ void DasMiddlebox::combine_group(std::uint64_t key, MbContext& ctx) {
   for (auto& e : batch) {
     if (e.pkt) ctx.drop(std::move(e.pkt));  // A1 drop of the constituents
   }
+  ctx.trace_span(kSpanName, c0, copies.size());
 }
 
 void DasMiddlebox::on_pump_idle(std::int64_t slot, MbContext& ctx) {

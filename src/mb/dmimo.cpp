@@ -37,7 +37,11 @@ void DmimoMiddlebox::on_slot(std::int64_t slot, MbContext& ctx) {
     }
     if (!ru_down_[i]) ++live;
   }
-  ctx.telemetry().set_gauge("dmimo_rus_live", live);
+  if (!gauges_ready_) {
+    g_rus_live_ = ctx.telemetry().intern_gauge("dmimo_rus_live");
+    gauges_ready_ = true;
+  }
+  ctx.telemetry().set_gauge(g_rus_live_, live);
 }
 
 DmimoMiddlebox::PortMap DmimoMiddlebox::map_layer(int cell_layer) const {

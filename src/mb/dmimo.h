@@ -83,6 +83,9 @@ class DmimoMiddlebox final : public MiddleboxApp {
   // Partner-liveness fallback state.
   std::vector<std::int64_t> last_ul_slot_;  // -1 = never heard
   std::vector<bool> ru_down_;
+  // Interned gauge handle (lazy: the owning Telemetry arrives via ctx).
+  bool gauges_ready_ = false;
+  Telemetry::GaugeId g_rus_live_ = 0;
 };
 
 }  // namespace rb

@@ -27,6 +27,13 @@ void FailoverMiddlebox::on_frame(int in_port, PacketPtr p, FhFrame& frame,
 
 void FailoverMiddlebox::on_slot(std::int64_t slot, MbContext& ctx) {
   current_slot_ = slot;
+  const auto set_active_gauge = [&] {
+    if (!gauges_ready_) {
+      g_active_ = ctx.telemetry().intern_gauge("failover_active");
+      gauges_ready_ = true;
+    }
+    ctx.telemetry().set_gauge(g_active_, active_);
+  };
   // Track the primary's uninterrupted healthy streak (fresh = emitted
   // within the last slot); a single frame from a flapping primary starts
   // a streak but does not survive the confirmation window.
@@ -57,7 +64,7 @@ void FailoverMiddlebox::on_slot(std::int64_t slot, MbContext& ctx) {
       ++failovers_;
       last_switch_slot_ = slot;
       ctx.telemetry().inc("failover_switchovers");
-      ctx.telemetry().set_gauge("failover_active", active_);
+      set_active_gauge();
     } else {
       active_ = dead;  // nobody alive; stay put
     }
@@ -73,7 +80,7 @@ void FailoverMiddlebox::on_slot(std::int64_t slot, MbContext& ctx) {
     active_ = kPrimary;
     last_switch_slot_ = slot;
     ctx.telemetry().inc("failover_failbacks");
-    ctx.telemetry().set_gauge("failover_active", active_);
+    set_active_gauge();
   }
 }
 

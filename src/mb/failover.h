@@ -64,6 +64,9 @@ class FailoverMiddlebox final : public MiddleboxApp {
   /// First slot of the primary's current uninterrupted healthy streak
   /// (-1 while it is stale).
   std::int64_t primary_fresh_since_ = -1;
+  // Interned gauge handle (lazy: the owning Telemetry arrives via ctx).
+  bool gauges_ready_ = false;
+  Telemetry::GaugeId g_active_ = 0;
 };
 
 }  // namespace rb

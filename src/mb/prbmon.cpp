@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace rb {
 
 void PrbMonitorMiddlebox::on_frame(int in_port, PacketPtr p, FhFrame& frame,
@@ -13,6 +15,11 @@ void PrbMonitorMiddlebox::on_frame(int in_port, PacketPtr p, FhFrame& frame,
     const bool dl = u.direction == Direction::Downlink;
     const std::uint8_t thr = dl ? cfg_.thr_dl : cfg_.thr_ul;
     // PRBs outside any section were never transported: idle by definition.
+    // The per-PRB exponent reads are deliberately untraced (hundreds per
+    // frame); this one span covers the whole scan instead.
+    static const std::uint16_t kScanName =
+        obs::Collector::instance().intern_name("prbmon.scan");
+    const double c0 = ctx.cost_ns();
     int utilized = 0;
     for (const auto& sec : u.sections) {
       for (int prb = 0; prb < sec.num_prb; ++prb) {
@@ -20,6 +27,7 @@ void PrbMonitorMiddlebox::on_frame(int in_port, PacketPtr p, FhFrame& frame,
         utilized += (e > thr) ? 1 : 0;
       }
     }
+    ctx.trace_span(kScanName, c0, std::uint64_t(utilized));
     if (dl) {
       dl_prb_acc_ += double(utilized) / double(cfg_.n_prb);
       ++current_.dl_symbols;
@@ -45,8 +53,13 @@ void PrbMonitorMiddlebox::on_slot(std::int64_t slot, MbContext& ctx) {
         {current_.slot, "prb_util_dl", current_.dl_util});
     ctx.telemetry().publish(
         {current_.slot, "prb_util_ul", current_.ul_util});
-    ctx.telemetry().set_gauge("prb_util_dl", current_.dl_util);
-    ctx.telemetry().set_gauge("prb_util_ul", current_.ul_util);
+    if (!gauges_ready_) {
+      g_util_dl_ = ctx.telemetry().intern_gauge("prb_util_dl");
+      g_util_ul_ = ctx.telemetry().intern_gauge("prb_util_ul");
+      gauges_ready_ = true;
+    }
+    ctx.telemetry().set_gauge(g_util_dl_, current_.dl_util);
+    ctx.telemetry().set_gauge(g_util_ul_, current_.ul_util);
   }
   current_ = PrbUtilEstimate{};
   current_.slot = slot;

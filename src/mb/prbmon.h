@@ -54,6 +54,9 @@ class PrbMonitorMiddlebox final : public MiddleboxApp {
  private:
   PrbMonConfig cfg_;
   PrbUtilEstimate current_{};
+  // Interned gauge handles (lazy: the owning Telemetry arrives via ctx).
+  bool gauges_ready_ = false;
+  Telemetry::GaugeId g_util_dl_ = 0, g_util_ul_ = 0;
   double dl_prb_acc_ = 0, ul_prb_acc_ = 0;
   std::deque<PrbUtilEstimate> estimates_;
   static constexpr std::size_t kMaxWindow = 8192;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace rb {
 namespace {
 
@@ -351,6 +353,9 @@ void RuShareMiddlebox::du_prach_cplane(int du, PacketPtr p, FhFrame& frame,
 
   // Algorithm 3: append every DU's sections into one type-3 message with
   // the freqOffset translated into the RU grid and section id == DU id.
+  static const std::uint16_t kSpanName =
+      obs::Collector::instance().intern_name("rushare.mux");
+  const double c0 = ctx.cost_ns();
   CPlaneMsg combined = entries->front().frame.cplane();
   combined.sections.clear();
   std::uint32_t done = 0;
@@ -377,6 +382,7 @@ void RuShareMiddlebox::du_prach_cplane(int du, PacketPtr p, FhFrame& frame,
   out->rx_time_ns = entries->front().pkt->rx_time_ns;
   ctx.charge(64.0 * combined.sections.size());
   ctx.forward(std::move(out), kSouth);
+  ctx.trace_span(kSpanName, c0, combined.sections.size());
   ctx.telemetry().inc("rushare_prach_combined");
 }
 

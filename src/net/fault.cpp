@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/obs.h"
+
 namespace rb {
 
 namespace {
@@ -32,6 +34,8 @@ FaultyLink::FaultyLink(std::string name, Port& a, Port& b, FaultPlan a_to_b,
   ba_.rng = FaultRng(ba_.plan.seed * 2 + 2);
   ab_.src = &a;
   ba_.src = &b;
+  ab_.obs_track = obs::Collector::instance().intern_track(name_ + ".ab");
+  ba_.obs_track = obs::Collector::instance().intern_track(name_ + ".ba");
   a.set_fault_hook(&ab_);
   b.set_fault_hook(&ba_);
 }
@@ -42,8 +46,15 @@ FaultyLink::~FaultyLink() {
 }
 
 void FaultyLink::Dir::on_tx(PacketPtr p, std::vector<PacketPtr>& out) {
+  // Annotation helper: instants on this direction's track, stamped with
+  // the packet's (possibly perturbed) virtual time.
+  const auto note = [&](std::uint16_t name, std::int64_t ts,
+                        std::uint32_t dur = 0, std::uint64_t arg = 0) {
+    if (obs::enabled()) obs::emit(obs::Cat::Fault, name, obs_track, ts, dur, arg);
+  };
   if (down) {
     stats.flap_loss++;
+    note(obs::kNFaultFlap, p->rx_time_ns, 0, p->len());
     return;  // packet evaporates on the downed direction
   }
   bool touched = false;
@@ -57,16 +68,20 @@ void FaultyLink::Dir::on_tx(PacketPtr p, std::vector<PacketPtr>& out) {
     }
     if (ge_bad && rng.uniform() < plan.ge_loss_bad) {
       stats.burst_loss++;
+      note(obs::kNFaultBurst, p->rx_time_ns, 0, p->len());
       return;
     }
   }
   if (plan.loss > 0 && rng.uniform() < plan.loss) {
     stats.iid_loss++;
+    note(obs::kNFaultLoss, p->rx_time_ns, 0, p->len());
     return;
   }
   if (plan.corrupt > 0 && rng.uniform() < plan.corrupt) {
     corrupt_payload(*p, plan.corrupt_bits, rng);
     stats.corrupted++;
+    note(obs::kNFaultCorrupt, p->rx_time_ns, 0,
+         std::uint64_t(plan.corrupt_bits));
     touched = true;
   }
   if (plan.delay_ns > 0 || plan.jitter_ns > 0) {
@@ -76,6 +91,10 @@ void FaultyLink::Dir::on_tx(PacketPtr p, std::vector<PacketPtr>& out) {
              ? std::int64_t(rng.below(std::uint64_t(plan.jitter_ns)))
              : 0);
     if (extra > 0) {
+      // Annotated span over the injected extra delay, distinct from the
+      // link's own propagation span (which Port::inject emits).
+      note(obs::kNFaultDelay, p->rx_time_ns, std::uint32_t(extra),
+           std::uint64_t(extra));
       p->rx_time_ns += extra;
       stats.delayed++;
       touched = true;
@@ -86,6 +105,7 @@ void FaultyLink::Dir::on_tx(PacketPtr p, std::vector<PacketPtr>& out) {
     dup = PacketPool::default_pool().clone(*p);
     if (dup) {
       stats.duplicated++;
+      note(obs::kNFaultDup, p->rx_time_ns, 0, p->len());
       touched = true;
     }
   }
@@ -94,6 +114,7 @@ void FaultyLink::Dir::on_tx(PacketPtr p, std::vector<PacketPtr>& out) {
     // packet second with a timestamp no earlier than the overtaker so the
     // receiver observes genuine reordering, not just a resort.
     held->rx_time_ns = std::max(held->rx_time_ns, p->rx_time_ns);
+    note(obs::kNFaultReorder, held->rx_time_ns, 0, held->len());
     out.push_back(std::move(p));
     out.push_back(std::move(held));
     stats.reordered++;

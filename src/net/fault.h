@@ -139,6 +139,7 @@ class FaultyLink {
     FaultRng rng{1};
     FaultStats stats;
     Port* src = nullptr;  // the port whose TX this direction perturbs
+    std::uint16_t obs_track = 0;  // obs track for fault annotations
     bool ge_bad = false;
     bool down = false;
     PacketPtr held;

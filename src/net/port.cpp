@@ -1,5 +1,7 @@
 #include "net/port.h"
 
+#include "obs/obs.h"
+
 namespace rb {
 
 void Port::connect(Port& a, Port& b, std::int64_t latency_ns) {
@@ -30,6 +32,14 @@ bool Port::inject(PacketPtr p) {
   if (!peer_ || !link_up_ || !peer_->link_up_) return false;  // dropped
   stats_.tx_packets++;
   stats_.tx_bytes += p->len();
+  if (obs::enabled()) {
+    // Track 0 means "engine", so lazily intern on first traced traversal.
+    if (obs_track_ == 0)
+      obs_track_ = obs::Collector::instance().intern_track("link." + name_);
+    // Wire span: departs at the packet's current stamp, dur = propagation.
+    obs::emit(obs::Cat::Link, obs::kNLink, obs_track_, p->rx_time_ns,
+              std::uint32_t(link_latency_ns_), p->len());
+  }
   p->rx_time_ns += link_latency_ns_;
   p->ingress_port = peer_->id_;
   peer_->deliver(std::move(p));

@@ -98,6 +98,7 @@ class Port {
   std::uint16_t id_ = 0;
   Port* peer_ = nullptr;
   std::int64_t link_latency_ns_ = 0;
+  std::uint16_t obs_track_ = 0;  // obs track for wire spans (0 = not yet)
   std::size_t rx_queue_cap_;
   std::deque<PacketPtr> rx_queue_;
   std::function<void(PacketPtr)> rx_handler_;

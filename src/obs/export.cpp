@@ -1,0 +1,199 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <set>
+
+#include "obs/obs.h"
+
+namespace rb::obs {
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, std::size_t(std::min(n, int(sizeof(buf) - 1))));
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (std::uint8_t(ch) < 0x20)
+          appendf(out, "\\u%04x", unsigned(std::uint8_t(ch)));
+        else
+          out += ch;
+    }
+  }
+  out += '"';
+}
+
+/// Prometheus metric-safe version of an interned label.
+std::string prom_label(const std::string& s) {
+  std::string out;
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Collector& c) {
+  std::string out;
+  out.reserve(c.events().size() * 96 + 1024);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+
+  // Thread-name metadata: one trace tid per obs track.
+  std::set<std::uint16_t> tracks{kTrackEngine};
+  for (const TraceEvent& e : c.events()) tracks.insert(e.track);
+  for (std::uint16_t t : tracks) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    appendf(out, "%u", unsigned(t) + 1);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    append_json_string(out, c.track_str(t));
+    out += "}}";
+  }
+
+  for (const TraceEvent& e : c.events()) {
+    if (!first) out += ',';
+    first = false;
+    const bool instant = e.dur_ns == 0 &&
+                         (e.cat == Cat::Parse || e.cat == Cat::Tx ||
+                          e.cat == Cat::Fault);
+    out += "{\"ph\":";
+    out += instant ? "\"i\"" : "\"X\"";
+    out += ",\"pid\":1,\"tid\":";
+    appendf(out, "%u", unsigned(e.track) + 1);
+    out += ",\"name\":";
+    append_json_string(out, c.name_str(e.name));
+    out += ",\"cat\":";
+    append_json_string(out, cat_name(e.cat));
+    // Trace-event timestamps are microseconds; keep ns as fractions.
+    appendf(out, ",\"ts\":%.3f", double(e.ts_ns) / 1000.0);
+    if (instant)
+      out += ",\"s\":\"t\"";
+    else
+      appendf(out, ",\"dur\":%.3f", double(e.dur_ns) / 1000.0);
+    appendf(out, ",\"args\":{\"arg\":%" PRIu64 "}}", e.arg);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string prometheus_text(const Collector& c) {
+  std::string out;
+  out += "# TYPE rb_obs_slots_total counter\n";
+  appendf(out, "rb_obs_slots_total %" PRIu64 "\n", c.slots_committed());
+  out += "# TYPE rb_obs_deadline_miss_total counter\n";
+  appendf(out, "rb_obs_deadline_miss_total %" PRIu64 "\n",
+          c.deadline_misses());
+  out += "# TYPE rb_obs_trace_events_total counter\n";
+  appendf(out, "rb_obs_trace_events_total %" PRIu64 "\n", c.total_events());
+  out += "# TYPE rb_obs_trace_dropped_total counter\n";
+  appendf(out, "rb_obs_trace_dropped_total %" PRIu64 "\n", c.dropped());
+
+  if (!c.budgets().empty()) {
+    const SlotBudget& b = c.budgets().back();
+    out += "# TYPE rb_obs_budget_pct gauge\n";
+    appendf(out, "rb_obs_budget_pct %.6f\n", b.budget_pct());
+    out += "# TYPE rb_obs_slot_busy_ns gauge\n";
+    appendf(out, "rb_obs_slot_busy_ns %" PRIu64 "\n", b.busy_ns);
+    out += "# TYPE rb_obs_slot_max_completion_ns gauge\n";
+    appendf(out, "rb_obs_slot_max_completion_ns %" PRId64 "\n",
+            b.max_completion_ns);
+  }
+
+  // Histograms: cumulative le buckets per (kind, track).
+  HistKind last_kind{};
+  bool typed_any = false;
+  for (const auto& [key, h] : c.hists()) {
+    const HistKind kind = Collector::hist_key_kind(key);
+    const std::uint16_t track = Collector::hist_key_track(key);
+    const std::string metric =
+        std::string("rb_obs_") + hist_kind_name(kind) + "_ns";
+    if (!typed_any || kind != last_kind) {
+      appendf(out, "# TYPE %s histogram\n", metric.c_str());
+      last_kind = kind;
+      typed_any = true;
+    }
+    const std::string label = prom_label(c.track_str(track));
+    std::uint64_t cum = 0;
+    h.for_each_bucket([&](std::int64_t, std::int64_t upper,
+                          std::uint64_t n) {
+      cum += n;
+      appendf(out, "%s_bucket{track=\"%s\",le=\"%" PRId64 "\"} %" PRIu64 "\n",
+              metric.c_str(), label.c_str(), upper, cum);
+    });
+    appendf(out, "%s_bucket{track=\"%s\",le=\"+Inf\"} %" PRIu64 "\n",
+            metric.c_str(), label.c_str(), h.count());
+    appendf(out, "%s_sum{track=\"%s\"} %" PRIu64 "\n", metric.c_str(),
+            label.c_str(), h.sum());
+    appendf(out, "%s_count{track=\"%s\"} %" PRIu64 "\n", metric.c_str(),
+            label.c_str(), h.count());
+  }
+  return out;
+}
+
+std::string budget_csv(const Collector& c) {
+  std::string out =
+      "slot,t0_ns,deadline_ns,busy_ns,a1_ns,a2_ns,a3_ns,a4_ns,charge_ns,"
+      "combine_ns,link_ns,max_completion_ns,budget_pct,deadline_miss,"
+      "events\n";
+  for (const SlotBudget& b : c.budgets()) {
+    appendf(out,
+            "%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRIu64 ",%" PRIu64
+            ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+            ",%" PRIu64 ",%" PRId64 ",%.4f,%d,%u\n",
+            b.slot, b.t0_ns, b.deadline_ns, b.busy_ns, b.a1_ns, b.a2_ns,
+            b.a3_ns, b.a4_ns, b.charge_ns, b.combine_ns, b.link_ns,
+            b.max_completion_ns, b.budget_pct(), int(b.deadline_miss),
+            b.events);
+  }
+  return out;
+}
+
+std::string summary(const Collector& c) {
+  std::string out;
+  appendf(out,
+          "obs: slots=%" PRIu64 " events=%" PRIu64 " retained=%zu dropped=%"
+          PRIu64 " deadline_miss=%" PRIu64 "\n",
+          c.slots_committed(), c.total_events(), c.events().size(),
+          c.dropped(), c.deadline_misses());
+  if (!c.budgets().empty()) {
+    const SlotBudget& b = c.budgets().back();
+    appendf(out,
+            "last slot %" PRId64 ": busy=%" PRIu64 "ns (%.1f%% of %" PRId64
+            "ns) max_completion=%" PRId64 "ns%s\n",
+            b.slot, b.busy_ns, b.budget_pct(), b.deadline_ns,
+            b.max_completion_ns, b.deadline_miss ? " MISS" : "");
+  }
+  for (const auto& [key, h] : c.hists()) {
+    appendf(out,
+            "hist %s[%s]: n=%" PRIu64 " mean=%.0fns p50=%" PRId64
+            " p99=%" PRId64 " max=%" PRId64 "\n",
+            hist_kind_name(Collector::hist_key_kind(key)),
+            c.track_str(Collector::hist_key_track(key)).c_str(), h.count(),
+            h.mean(), h.percentile(50), h.percentile(99), h.max());
+  }
+  return out;
+}
+
+}  // namespace rb::obs

@@ -1,0 +1,23 @@
+// Exporters over the collector's retained trace and derived state.
+//
+//  - chrome_trace_json: Chrome trace-event JSON ("Trace Event Format"),
+//    loadable in Perfetto / chrome://tracing. One tid per track, spans
+//    as "X" complete events, instants as "i".
+//  - prometheus_text: Prometheus text exposition (counters, last-slot
+//    gauges, and the log-linear histograms as cumulative le-buckets).
+//  - budget_csv: one row per slot of the budget accounting.
+//  - summary: short human-readable digest for the mgmt plane.
+#pragma once
+
+#include <string>
+
+namespace rb::obs {
+
+class Collector;
+
+std::string chrome_trace_json(const Collector& c);
+std::string prometheus_text(const Collector& c);
+std::string budget_csv(const Collector& c);
+std::string summary(const Collector& c);
+
+}  // namespace rb::obs

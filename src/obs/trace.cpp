@@ -1,0 +1,20 @@
+#include "obs/trace.h"
+
+namespace rb::obs {
+
+const char* cat_name(Cat c) {
+  switch (c) {
+    case Cat::Slot: return "slot";
+    case Cat::Symbol: return "symbol";
+    case Cat::Packet: return "packet";
+    case Cat::Parse: return "parse";
+    case Cat::Action: return "action";
+    case Cat::Combine: return "combine";
+    case Cat::Tx: return "tx";
+    case Cat::Link: return "link";
+    case Cat::Fault: return "fault";
+  }
+  return "?";
+}
+
+}  // namespace rb::obs

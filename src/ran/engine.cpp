@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "exec/shard.h"
+#include "obs/obs.h"
 
 namespace rb {
 
@@ -14,6 +15,7 @@ namespace rb {
 void SlotEngine::run_one_slot_serial() {
   const std::int64_t slot = clock_.total_slots();
   const std::int64_t t0 = clock_.elapsed_ns();
+  obs::slot_spans(slot, t0, slot_duration_ns(clock_.scs()));
 
   air_->begin_slot(slot);
   if (traffic_) traffic_(slot);
@@ -36,6 +38,10 @@ void SlotEngine::run_one_slot_serial() {
   for (auto* ru : rus_) ru->emit_ul(slot, t0);
   pump_all();
   for (auto* du : dus_) du->process_rx(slot, t0);
+
+  if (obs::enabled())
+    obs::Collector::instance().commit_slot(slot, t0,
+                                           slot_duration_ns(clock_.scs()));
 
   clock_.advance_slot();
   // advance_slot() is a no-op at symbol 0 of a fresh slot boundary; make
@@ -218,6 +224,7 @@ void SlotEngine::run_one_slot_parallel() {
 
   const std::int64_t slot = clock_.total_slots();
   const std::int64_t t0 = clock_.elapsed_ns();
+  obs::slot_spans(slot, t0, slot_duration_ns(clock_.scs()));
 
   // Single-threaded prologue: radio oracle, offered load, slot hooks.
   air_->begin_slot(slot);
@@ -267,6 +274,12 @@ void SlotEngine::run_one_slot_parallel() {
   // PRACH detections recorded per cell during DuRx apply here, in cell
   // order, matching what serial execution would have committed this slot.
   air_->flush_prach_completions();
+
+  // Slot barrier: workers are parked (pool_->run returned), so draining
+  // their trace rings here is race-free.
+  if (obs::enabled())
+    obs::Collector::instance().commit_slot(slot, t0,
+                                           slot_duration_ns(clock_.scs()));
 
   clock_.advance_slot();
   if (clock_.total_slots() == slot) {
