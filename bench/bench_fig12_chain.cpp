@@ -6,7 +6,10 @@
 //   DU_A --.
 //           rushare --- das --- switch --- RU1..RU4
 //   DU_B --'
+#include <chrono>
+
 #include "bench_util.h"
+#include "iq/kernels/kernels.h"
 
 namespace rb::bench {
 namespace {
@@ -143,5 +146,25 @@ int main() {
       (unsigned long long)rig.rushare_rt->telemetry().counter(
           "rushare_dl_muxed"),
       (unsigned long long)rig.das_rt->telemetry().counter("das_merges"));
+
+  // Per-kernel-tier chain throughput: the same loaded chain pumped under
+  // each available IQ kernel tier (the A4 codec + combine dominate the
+  // slot budget, so the dispatch tier shows up directly in wall time).
+  const rb::KernelTier active = rb::iq_kernel_tier();
+  row("iq kernel dispatch: active=%s", rb::kernel_tier_name(active));
+  for (std::size_t t = 0; t < rb::kKernelTierCount; ++t) {
+    const auto tier = rb::KernelTier(t);
+    if (!rb::iq_tier_available(tier)) continue;
+    rb::iq_force_tier(tier);
+    rig.d.engine.run_slots(20);  // warm the tier's code paths
+    const auto t0 = std::chrono::steady_clock::now();
+    rig.d.engine.run_slots(160);
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    row("  tier %-6s : %8.1f slots/s wall", rb::kernel_tier_name(tier),
+        160.0 / dt);
+  }
+  rb::iq_force_tier(active);
   return 0;
 }

@@ -1,0 +1,60 @@
+// Process-wide IQ datapath stats: active kernel tier and scratch-arena
+// high-water marks.
+//
+// Lives in common/ (header-only, atomics) so both ends of the layering can
+// reach it: the iq/core layers write, while rb_obs (which links only
+// rb_common) and the mgmt endpoint read. Values are monotonic per process
+// and deliberately tiny - this is telemetry, not accounting.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace rb::iqstats {
+
+/// Active kernel tier as its numeric KernelTier value, or -1 before the
+/// first dispatch. Written once by iq_ops() (and again by iq_force_tier).
+inline std::atomic<int>& kernel_tier() {
+  static std::atomic<int> v{-1};
+  return v;
+}
+
+/// Static name of the active tier ("avx2", ...), nullptr before dispatch.
+inline std::atomic<const char*>& kernel_tier_label() {
+  static std::atomic<const char*> v{nullptr};
+  return v;
+}
+
+/// Monotonic max: lock-free high-water-mark update.
+inline void raise_hwm(std::atomic<std::uint64_t>& hwm, std::uint64_t value) {
+  std::uint64_t cur = hwm.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !hwm.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Largest PRB scratch buffer (samples) any worker has grown to.
+inline std::atomic<std::uint64_t>& arena_samples_hwm() {
+  static std::atomic<std::uint64_t> v{0};
+  return v;
+}
+
+/// Largest per-combine batch (cached packets taken) seen by a worker.
+inline std::atomic<std::uint64_t>& arena_batch_hwm() {
+  static std::atomic<std::uint64_t> v{0};
+  return v;
+}
+
+/// Largest packet-copy working set a combine held at once.
+inline std::atomic<std::uint64_t>& arena_copies_hwm() {
+  static std::atomic<std::uint64_t> v{0};
+  return v;
+}
+
+/// Largest per-section source-span fan-in a combine merged.
+inline std::atomic<std::uint64_t>& arena_srcs_hwm() {
+  static std::atomic<std::uint64_t> v{0};
+  return v;
+}
+
+}  // namespace rb::iqstats

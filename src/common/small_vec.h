@@ -1,0 +1,127 @@
+// Small vector with inline storage: the first N elements live inside the
+// object; only growth past N touches the heap.
+//
+// Built for the per-packet tx queue on the middlebox hot path, where the
+// typical fan-out (DAS replicates to a handful of RUs) fits inline and a
+// std::vector would pay one allocation per processed packet. Move-only,
+// minimal interface - this is a buffer, not a general container.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rb {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N > 0, "inline capacity must be non-zero");
+
+ public:
+  SmallVec() = default;
+  SmallVec(const SmallVec&) = delete;
+  SmallVec& operator=(const SmallVec&) = delete;
+
+  SmallVec(SmallVec&& other) noexcept { steal(other); }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      steal(other);
+    }
+    return *this;
+  }
+
+  ~SmallVec() { destroy(); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow();
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+  void push_back(T value) { emplace_back(std::move(value)); }
+
+  /// Destroy elements; keeps any heap block for reuse.
+  void clear() {
+    T* p = data();
+    for (std::size_t k = size_; k > 0; --k) p[k - 1].~T();
+    size_ = 0;
+  }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  T& operator[](std::size_t k) { return data()[k]; }
+  const T& operator[](std::size_t k) const { return data()[k]; }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cap_; }
+  bool empty() const { return size_ == 0; }
+  bool spilled() const { return heap_ != nullptr; }
+
+ private:
+  T* data() { return heap_ ? heap_ : inline_data(); }
+  const T* data() const { return heap_ ? heap_ : inline_data(); }
+  T* inline_data() { return std::launder(reinterpret_cast<T*>(inline_)); }
+  const T* inline_data() const {
+    return std::launder(reinterpret_cast<const T*>(inline_));
+  }
+
+  void grow() {
+    const std::size_t new_cap = cap_ * 2;
+    T* nb = static_cast<T*>(
+        ::operator new(new_cap * sizeof(T), std::align_val_t(alignof(T))));
+    T* src = data();
+    for (std::size_t k = 0; k < size_; ++k) {
+      ::new (static_cast<void*>(nb + k)) T(std::move(src[k]));
+      src[k].~T();
+    }
+    if (heap_ != nullptr)
+      ::operator delete(heap_, std::align_val_t(alignof(T)));
+    heap_ = nb;
+    cap_ = new_cap;
+  }
+
+  void destroy() {
+    clear();
+    if (heap_ != nullptr) {
+      ::operator delete(heap_, std::align_val_t(alignof(T)));
+      heap_ = nullptr;
+      cap_ = N;
+    }
+  }
+
+  /// Move-construct from `other`, leaving it empty (heap block included).
+  void steal(SmallVec& other) {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.cap_ = N;
+      other.size_ = 0;
+    } else {
+      heap_ = nullptr;
+      cap_ = N;
+      size_ = other.size_;
+      T* src = other.inline_data();
+      for (std::size_t k = 0; k < size_; ++k) {
+        ::new (static_cast<void*>(inline_data() + k)) T(std::move(src[k]));
+        src[k].~T();
+      }
+      other.size_ = 0;
+    }
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace rb

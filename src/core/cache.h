@@ -76,6 +76,18 @@ class PacketCache {
     return v;
   }
 
+  /// Remove all entries under a key into `out` (cleared first). The
+  /// allocation-free flavour of take(): `out` is a reusable scratch
+  /// buffer, so the steady state moves elements without touching the heap.
+  void take_into(std::uint64_t k, std::vector<CachedPacket>& out) {
+    out.clear();
+    auto it = map_.find(k);
+    if (it == map_.end()) return;
+    for (auto& e : it->second) out.push_back(std::move(e));
+    map_.erase(it);
+    size_ -= out.size();
+  }
+
   void erase(std::uint64_t k) {
     auto it = map_.find(k);
     if (it != map_.end()) {

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/iq_stats.h"
+#include "iq/kernels/kernels.h"
 #include "obs/export.h"
 #include "obs/obs.h"
 
@@ -26,6 +28,28 @@ std::string MgmtEndpoint::handle(const std::string& cmd) {
     std::string key;
     is >> key;
     return std::to_string(rt_->telemetry().gauge(key));
+  }
+  if (verb == "cpuinfo") {
+    // IQ kernel dispatch + datapath arena report. Forces tier selection
+    // so a pre-traffic query still answers.
+    std::ostringstream os;
+    os << "iq_kernel=" << kernel_tier_name(iq_kernel_tier()) << "\n";
+    os << "iq_kernel_available=";
+    bool first = true;
+    for (std::size_t t = 0; t < kKernelTierCount; ++t) {
+      if (!iq_tier_available(KernelTier(t))) continue;
+      os << (first ? "" : ",") << kernel_tier_name(KernelTier(t));
+      first = false;
+    }
+    os << "\n";
+    os << "arena_samples_hwm=" << iqstats::arena_samples_hwm().load() << "\n";
+    os << "arena_batch_hwm=" << iqstats::arena_batch_hwm().load() << "\n";
+    os << "arena_copies_hwm=" << iqstats::arena_copies_hwm().load() << "\n";
+    os << "arena_srcs_hwm=" << iqstats::arena_srcs_hwm().load() << "\n";
+    os << "pool_in_use=" << rt_->pool().in_use() << "\n";
+    os << "pool_capacity=" << rt_->pool().capacity() << "\n";
+    os << "pool_alloc_failures=" << rt_->pool().alloc_failures() << "\n";
+    return os.str();
   }
   if (verb == "obs") {
     // Observability exporters: process-wide collector, queryable through

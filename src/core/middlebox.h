@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/small_vec.h"
 #include "core/cache.h"
 #include "core/telemetry.h"
 #include "fronthaul/frame.h"
@@ -49,6 +50,18 @@ enum class DriverKind : std::uint8_t { Dpdk, Xdp };
 
 class MiddleboxRuntime;
 
+/// Per-worker scratch arena for the combine hot path: the A3 take batch,
+/// the per-RU dedup set and the per-section source spans reuse their
+/// capacity across packets, so a steady-state combine makes no heap
+/// allocations. One instance per worker thread (exec shards run one
+/// runtime per worker, and chain re-entrancy never interleaves two
+/// combines on one thread); hand out via MbContext::scratch().
+struct MbScratch {
+  std::vector<CachedPacket> batch;
+  std::vector<CachedPacket*> copies;
+  std::vector<std::span<const std::uint8_t>> srcs;
+};
+
 /// Action facade handed to the handler. Bound to the runtime and to the
 /// worker/time context of the packet being processed.
 class MbContext {
@@ -68,6 +81,9 @@ class MbContext {
   PacketCache& cache();
   /// Account one cache operation (put/take).
   void charge_cache_op();
+  /// This worker's combine scratch arena (see MbScratch). Valid only for
+  /// the duration of the current handler invocation.
+  MbScratch& scratch();
 
   // --- A4: payload inspection & modification -------------------------
   /// Rewrite the eAxC (antenna port remap). Charges a header rewrite.
@@ -129,7 +145,9 @@ class MbContext {
   std::int64_t slot_start_ns_;
   double cost_ns_ = 0.0;          // accumulated for the current packet
   std::int64_t start_ns_ = 0;     // when the worker started this packet
-  std::vector<std::pair<PacketPtr, int>> tx_queue_;  // emitted packets
+  /// Emitted packets. Inline storage covers the common fan-out (DAS
+  /// replicates to a handful of RUs) without a per-packet allocation.
+  SmallVec<std::pair<PacketPtr, int>, 8> tx_queue_;
 };
 
 /// User-provided middlebox logic.

@@ -10,6 +10,7 @@
 namespace rb {
 namespace {
 thread_local PrbScratch g_scratch;
+thread_local MbScratch g_mb_scratch;
 }  // namespace
 
 // ----------------------------------------------------------------------
@@ -70,6 +71,8 @@ PacketPtr MbContext::replicate(const Packet& p) {
 }
 
 PacketCache& MbContext::cache() { return rt_->cache_; }
+
+MbScratch& MbContext::scratch() { return g_mb_scratch; }
 
 void MbContext::charge_cache_op() {
   const double c0 = cost_ns_;

@@ -1,23 +1,13 @@
 #include "iq/bfp.h"
 
-#include "common/bytes.h"
+#include <cstring>
+
+#include "iq/kernels/kernels.h"
 
 namespace rb {
 namespace {
 
 constexpr bool width_valid(int w) { return w >= 2 && w <= 16; }
-
-/// Largest magnitude across the 24 components of a PRB.
-std::uint32_t max_magnitude(IqConstSpan prb) {
-  std::uint32_t m = 0;
-  for (const auto& s : prb) {
-    std::uint32_t ai = std::uint32_t(s.i < 0 ? -(std::int32_t(s.i)) : s.i);
-    std::uint32_t aq = std::uint32_t(s.q < 0 ? -(std::int32_t(s.q)) : s.q);
-    if (ai > m) m = ai;
-    if (aq > m) m = aq;
-  }
-  return m;
-}
 
 }  // namespace
 
@@ -25,7 +15,7 @@ std::uint8_t bfp_exponent(IqConstSpan prb, int iq_width) {
   // Smallest exponent e such that every component, arithmetically shifted
   // right by e, fits in a signed iq_width-bit mantissa.
   const std::uint32_t limit = (1u << (iq_width - 1)) - 1;
-  std::uint32_t m = max_magnitude(prb);
+  std::uint32_t m = iq_ops().max_magnitude(prb.data(), prb.size());
   std::uint8_t e = 0;
   while ((m >> e) > limit && e < 15) ++e;
   return e;
@@ -40,14 +30,8 @@ std::optional<BfpPrb> bfp_compress_prb(IqConstSpan prb, int iq_width,
 
   const std::uint8_t e = bfp_exponent(prb.first(kScPerPrb), iq_width);
   out[0] = e;  // upper nibble reserved (0), lower nibble exponent
-  for (std::size_t k = 1; k < need; ++k) out[k] = 0;
-
-  BitWriter bw(out.subspan(1));
-  for (int k = 0; k < kScPerPrb; ++k) {
-    bw.put(std::int32_t(prb[k].i) >> e, iq_width);
-    bw.put(std::int32_t(prb[k].q) >> e, iq_width);
-  }
-  if (!bw.ok()) return std::nullopt;
+  std::memset(out.data() + 1, 0, need - 1);
+  iq_ops().pack_mantissas(prb.data(), kScPerPrb, iq_width, e, out.data() + 1);
   return BfpPrb{e, need};
 }
 
@@ -59,13 +43,7 @@ std::optional<std::size_t> bfp_decompress_prb(std::span<const std::uint8_t> in,
   if (in.size() < need) return std::nullopt;
 
   const std::uint8_t e = std::uint8_t(in[0] & 0x0f);
-  BitReader br(in.subspan(1));
-  for (int k = 0; k < kScPerPrb; ++k) {
-    std::int32_t i = br.get(iq_width) << e;
-    std::int32_t q = br.get(iq_width) << e;
-    out[k] = IqSample{sat16(i), sat16(q)};
-  }
-  if (!br.ok()) return std::nullopt;
+  iq_ops().unpack_mantissas(in.data() + 1, kScPerPrb, iq_width, e, out.data());
   return need;
 }
 
@@ -76,13 +54,10 @@ std::optional<std::size_t> compress_prbs(IqConstSpan samples,
   if (samples.size() % kScPerPrb != 0) return std::nullopt;
   std::size_t off = 0;
   if (cfg.method == CompMethod::None) {
-    BufWriter w(out);
-    for (const auto& s : samples) {
-      w.u16(std::uint16_t(s.i));
-      w.u16(std::uint16_t(s.q));
-    }
-    if (!w.ok()) return std::nullopt;
-    return w.written();
+    const std::size_t need = samples.size() * 4;
+    if (out.size() < need) return std::nullopt;
+    iq_ops().pack_none(samples.data(), samples.size(), out.data());
+    return need;
   }
   for (std::size_t p = 0; p < n_prb; ++p) {
     auto r = bfp_compress_prb(samples.subspan(p * kScPerPrb, kScPerPrb),
@@ -96,15 +71,13 @@ std::optional<std::size_t> compress_prbs(IqConstSpan samples,
 std::optional<std::size_t> decompress_prbs(std::span<const std::uint8_t> in,
                                            int n_prb, const CompConfig& cfg,
                                            IqSpan out) {
-  if (out.size() < std::size_t(n_prb) * kScPerPrb) return std::nullopt;
+  const std::size_t n_samples = std::size_t(n_prb) * kScPerPrb;
+  if (out.size() < n_samples) return std::nullopt;
   if (cfg.method == CompMethod::None) {
-    BufReader r(in);
-    for (int k = 0; k < n_prb * kScPerPrb; ++k) {
-      out[std::size_t(k)].i = std::int16_t(r.u16());
-      out[std::size_t(k)].q = std::int16_t(r.u16());
-    }
-    if (!r.ok()) return std::nullopt;
-    return std::size_t(n_prb) * kScPerPrb * 4;
+    const std::size_t need = n_samples * 4;
+    if (in.size() < need) return std::nullopt;
+    iq_ops().unpack_none(in.data(), n_samples, out.data());
+    return need;
   }
   std::size_t off = 0;
   for (int p = 0; p < n_prb; ++p) {

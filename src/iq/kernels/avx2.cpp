@@ -1,0 +1,234 @@
+// AVX2 kernel tier. Compiled with -mavx2 on x86 hosts; only reachable
+// after dispatch.cpp verified CPU support, so no function here may be
+// called on a non-AVX2 machine. Bit-exact against scalar.cpp: the vector
+// ops used (abs/max/adds/packs/shifts) have exactly the scalar reference
+// semantics, and the odd-width bit interleave reuses the shared word
+// packer on vector-computed mantissas.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "iq/kernels/bitpack.h"
+#include "iq/kernels/tiers.h"
+
+namespace rb::iqk {
+namespace {
+
+inline const std::int16_t* as_i16(const IqSample* s) {
+  return reinterpret_cast<const std::int16_t*>(s);
+}
+inline std::int16_t* as_i16(IqSample* s) {
+  return reinterpret_cast<std::int16_t*>(s);
+}
+
+// Byte-swap every u16 lane (wire format is big-endian, hosts here are
+// little-endian); lane-local shuffle so the 256-bit variant is legal.
+inline __m128i bswap16_128(__m128i v) {
+  const __m128i sh = _mm_setr_epi8(1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13,
+                                   12, 15, 14);
+  return _mm_shuffle_epi8(v, sh);
+}
+inline __m256i bswap16_256(__m256i v) {
+  const __m256i sh = _mm256_setr_epi8(
+      1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12, 15, 14, 1, 0, 3, 2, 5, 4,
+      7, 6, 9, 8, 11, 10, 13, 12, 15, 14);
+  return _mm256_shuffle_epi8(v, sh);
+}
+
+std::uint32_t max_magnitude_avx2(const IqSample* s, std::size_t n) {
+  const std::int16_t* p = as_i16(s);
+  const std::size_t len = 2 * n;
+  std::size_t k = 0;
+  __m256i vmax = _mm256_setzero_si256();
+  for (; k + 16 <= len; k += 16) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + k));
+    // abs_epi16(INT16_MIN) stays 0x8000, which the unsigned max reads as
+    // 32768 - exactly the scalar |INT16_MIN|.
+    vmax = _mm256_max_epu16(vmax, _mm256_abs_epi16(v));
+  }
+  __m128i x = _mm_max_epu16(_mm256_castsi256_si128(vmax),
+                            _mm256_extracti128_si256(vmax, 1));
+  // Horizontal unsigned max via minpos on the complement.
+  const __m128i inv = _mm_xor_si128(x, _mm_set1_epi16(-1));
+  std::uint32_t m =
+      0xffffu ^ std::uint32_t(_mm_extract_epi16(_mm_minpos_epu16(inv), 0));
+  for (; k < len; ++k) {
+    const std::int32_t v = p[k];
+    const std::uint32_t a = std::uint32_t(v < 0 ? -v : v);
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+/// (v >> shift) for one PRB's 24 int16 components.
+inline void mantissas24(const std::int16_t* p, unsigned shift,
+                        std::int16_t* out24) {
+  const __m128i cnt = _mm_cvtsi32_si128(int(shift));
+  const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  const __m128i b =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out24),
+                      _mm256_sra_epi16(a, cnt));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out24 + 16),
+                   _mm_sra_epi16(b, cnt));
+}
+
+void pack_mantissas_avx2(const IqSample* s, std::size_t n, int width,
+                         unsigned shift, std::uint8_t* out) {
+  const std::int16_t* p = as_i16(s);
+  alignas(32) std::int16_t m[24];
+  std::size_t rem = n;
+  while (rem >= 12) {
+    mantissas24(p, shift, m);
+    switch (width) {
+      case 8:
+        for (int j = 0; j < 24; ++j) out[j] = std::uint8_t(m[j]);
+        out += 24;
+        break;
+      case 16: {
+        const __m256i a =
+            _mm256_load_si256(reinterpret_cast<const __m256i*>(m));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), bswap16_256(a));
+        const __m128i b =
+            _mm_load_si128(reinterpret_cast<const __m128i*>(m + 16));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 32),
+                         bswap16_128(b));
+        out += 48;
+        break;
+      }
+      default:
+        pack_words(m, 24, width, out);
+        out += (24u * unsigned(width)) / 8;  // one PRB is byte-aligned
+    }
+    p += 24;
+    rem -= 12;
+  }
+  if (rem > 0) {
+    for (std::size_t k = 0; k < 2 * rem; ++k)
+      m[k] = std::int16_t(std::int32_t(p[k]) >> shift);
+    pack_words(m, 2 * rem, width, out);
+  }
+}
+
+/// sat16(m * 2^shift) for 8 mantissas: widen, shift, saturating re-pack.
+inline void shift_sat8(const std::int16_t* m8, unsigned shift,
+                       std::int16_t* out) {
+  const __m128i v = _mm_load_si128(reinterpret_cast<const __m128i*>(m8));
+  if (shift == 0) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out), v);
+    return;
+  }
+  __m256i w = _mm256_cvtepi16_epi32(v);
+  w = _mm256_sll_epi32(w, _mm_cvtsi32_si128(int(shift)));
+  const __m128i lo = _mm256_castsi256_si128(w);
+  const __m128i hi = _mm256_extracti128_si256(w, 1);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), _mm_packs_epi32(lo, hi));
+}
+
+void unpack_mantissas_avx2(const std::uint8_t* in, std::size_t n, int width,
+                           unsigned shift, IqSample* out) {
+  std::int16_t* o = as_i16(out);
+  alignas(32) std::int16_t m[24];
+  std::size_t rem = n;
+  while (rem >= 12) {
+    switch (width) {
+      case 8: {
+        const __m128i b0 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+        _mm256_store_si256(reinterpret_cast<__m256i*>(m),
+                           _mm256_cvtepi8_epi16(b0));
+        const __m128i b1 =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(in + 16));
+        _mm_store_si128(reinterpret_cast<__m128i*>(m + 16),
+                        _mm_cvtepi8_epi16(b1));
+        in += 24;
+        break;
+      }
+      case 16: {
+        const __m256i a =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in));
+        _mm256_store_si256(reinterpret_cast<__m256i*>(m), bswap16_256(a));
+        const __m128i b =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 32));
+        _mm_store_si128(reinterpret_cast<__m128i*>(m + 16), bswap16_128(b));
+        in += 48;
+        break;
+      }
+      default:
+        unpack_words(in, 24, width, m);
+        in += (24u * unsigned(width)) / 8;
+    }
+    shift_sat8(m, shift, o);
+    shift_sat8(m + 8, shift, o + 8);
+    shift_sat8(m + 16, shift, o + 16);
+    o += 24;
+    rem -= 12;
+  }
+  if (rem > 0) {
+    unpack_words(in, 2 * rem, width, m);
+    for (std::size_t k = 0; k < 2 * rem; ++k)
+      o[k] = sat16(std::int32_t(std::uint32_t(std::int32_t(m[k])) << shift));
+  }
+}
+
+void accumulate_sat_avx2(IqSample* dst, const IqSample* src, std::size_t n) {
+  std::int16_t* d = as_i16(dst);
+  const std::int16_t* s = as_i16(src);
+  const std::size_t len = 2 * n;
+  std::size_t k = 0;
+  for (; k + 16 <= len; k += 16) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + k));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + k));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + k),
+                        _mm256_adds_epi16(a, b));
+  }
+  for (; k < len; ++k) d[k] = sat16(std::int32_t(d[k]) + s[k]);
+}
+
+/// Both CompMethod::None directions are the same u16 byte swap.
+inline void bswap16_stream(std::uint8_t* dst, const std::uint8_t* src,
+                           std::size_t bytes) {
+  std::size_t k = 0;
+  for (; k + 32 <= bytes; k += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + k));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + k), bswap16_256(v));
+  }
+  for (; k + 2 <= bytes; k += 2) {
+    dst[k] = src[k + 1];
+    dst[k + 1] = src[k];
+  }
+}
+
+void pack_none_avx2(const IqSample* s, std::size_t n, std::uint8_t* out) {
+  bswap16_stream(out, reinterpret_cast<const std::uint8_t*>(s), 4 * n);
+}
+
+void unpack_none_avx2(const std::uint8_t* in, std::size_t n, IqSample* out) {
+  bswap16_stream(reinterpret_cast<std::uint8_t*>(out), in, 4 * n);
+}
+
+constexpr IqKernelOps kAvx2Ops{
+    KernelTier::Avx2,      max_magnitude_avx2, pack_mantissas_avx2,
+    unpack_mantissas_avx2, accumulate_sat_avx2, pack_none_avx2,
+    unpack_none_avx2,
+};
+
+}  // namespace
+
+const IqKernelOps* avx2_ops() { return &kAvx2Ops; }
+
+}  // namespace rb::iqk
+
+#else  // non-x86 build: tier not compiled in.
+
+#include "iq/kernels/tiers.h"
+
+namespace rb::iqk {
+const IqKernelOps* avx2_ops() { return nullptr; }
+}  // namespace rb::iqk
+
+#endif

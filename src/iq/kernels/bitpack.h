@@ -1,0 +1,62 @@
+// Word-at-a-time MSB-first bit packing shared by the SIMD kernel tiers.
+//
+// The generic BitWriter/BitReader in common/bytes.h insert one byte
+// fragment per iteration; these helpers keep a 64-bit accumulator and emit
+// whole bytes, which is what makes the odd mantissa widths (9/12/14) fast
+// without per-width shuffle tables. Layout is identical to BitWriter:
+// values MSB-first, two's-complement truncated to `width` bits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rb::iqk {
+
+/// Bytes covering n_values packed `width`-bit fields (final byte padded
+/// with zero bits, as BitWriter leaves them in a pre-zeroed buffer).
+inline std::size_t packed_bytes(std::size_t n_values, int width) {
+  return (n_values * std::size_t(width) + 7) / 8;
+}
+
+/// Pack n int16 values at `width` bits each, MSB-first. Writes
+/// packed_bytes(n, width) bytes. Values are truncated to their low
+/// `width` bits (two's complement), matching BitWriter::put.
+inline void pack_words(const std::int16_t* v, std::size_t n, int width,
+                       std::uint8_t* out) {
+  const std::uint32_t mask =
+      width >= 32 ? ~0u : ((1u << unsigned(width)) - 1u);
+  std::uint64_t acc = 0;
+  unsigned bits = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc = (acc << unsigned(width)) |
+          (std::uint32_t(std::uint16_t(v[k])) & mask);
+    bits += unsigned(width);
+    while (bits >= 8) {
+      bits -= 8;
+      *out++ = std::uint8_t(acc >> bits);
+    }
+  }
+  if (bits > 0) *out = std::uint8_t(acc << (8 - bits));
+}
+
+/// Unpack n `width`-bit fields MSB-first into sign-extended int16 values.
+/// Reads packed_bytes(n, width) bytes. Width 2..16.
+inline void unpack_words(const std::uint8_t* in, std::size_t n, int width,
+                         std::int16_t* v) {
+  const std::uint32_t mask = (width >= 32) ? ~0u : ((1u << unsigned(width)) - 1u);
+  const std::uint32_t sign = 1u << unsigned(width - 1);
+  std::uint64_t acc = 0;
+  unsigned bits = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    while (bits < unsigned(width)) {
+      acc = (acc << 8) | *in++;
+      bits += 8;
+    }
+    bits -= unsigned(width);
+    const std::uint32_t raw = std::uint32_t(acc >> bits) & mask;
+    // Sign-extend from `width` bits without UB on the high bit.
+    v[k] = std::int16_t(std::uint16_t((raw ^ sign) - sign));
+  }
+}
+
+}  // namespace rb::iqk

@@ -1,0 +1,91 @@
+// Runtime-dispatched SIMD kernels for the IQ hot path.
+//
+// The BFP codec and the U-plane combine dominate per-packet cost on the
+// fronthaul datapath (the paper's Fig. 12/15 microbenchmarks). This layer
+// provides one scalar reference implementation plus CPU-specific variants
+// (SSE4.2, AVX2, NEON-guarded) selected once at startup via CPUID, in the
+// spirit of DPDK's vectorized rx/tx paths.
+//
+// Contract: every tier is bit-exact against the scalar reference for every
+// input. This is what keeps serial-vs-parallel determinism and obs trace
+// equality intact no matter which tier the host selects: a kernel is an
+// implementation detail, never an observable behaviour change.
+//
+// Selection order: RB_IQ_KERNEL env override (scalar|sse42|avx2|neon, with
+// fallback to the best available tier when the requested one is not
+// supported) > AVX2 > SSE4.2 > NEON > scalar.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "iq/iq.h"
+
+namespace rb {
+
+static_assert(sizeof(IqSample) == 4 && alignof(IqSample) == 2,
+              "kernels reinterpret IqSample[] as a packed int16 stream");
+
+/// Dispatch tiers, ordered by preference within an ISA family.
+enum class KernelTier : std::uint8_t { Scalar = 0, Sse42 = 1, Avx2 = 2, Neon = 3 };
+inline constexpr std::size_t kKernelTierCount = 4;
+
+const char* kernel_tier_name(KernelTier t);
+
+/// Parse a RB_IQ_KERNEL-style tier name ("scalar", "sse42", "avx2",
+/// "neon"); nullopt for anything else.
+std::optional<KernelTier> parse_kernel_tier(std::string_view name);
+
+/// One tier's kernel table. All functions share the scalar reference
+/// semantics exactly (see scalar.cpp, the executable specification).
+struct IqKernelOps {
+  KernelTier tier = KernelTier::Scalar;
+
+  /// Largest |i| / |q| over n samples (|INT16_MIN| = 32768).
+  std::uint32_t (*max_magnitude)(const IqSample* s, std::size_t n);
+
+  /// BFP mantissa packing: for each sample emit the low `width` bits of
+  /// (i >> shift) then (q >> shift) (arithmetic shift, two's complement
+  /// truncation), MSB-first, into `out`. `out` must hold
+  /// (2*n*width + 7) / 8 bytes and be zeroed (a final partial byte is
+  /// OR-composed exactly like BitWriter's). Width 2..16.
+  void (*pack_mantissas)(const IqSample* s, std::size_t n, int width,
+                         unsigned shift, std::uint8_t* out);
+
+  /// Inverse: read 2*n sign-extended `width`-bit mantissas, shift each
+  /// left by `shift` and saturate to int16. `in` must hold
+  /// (2*n*width + 7) / 8 readable bytes.
+  void (*unpack_mantissas)(const std::uint8_t* in, std::size_t n, int width,
+                           unsigned shift, IqSample* out);
+
+  /// Element-wise saturating sum: dst[k] += src[k] (the DAS/dMIMO uplink
+  /// combine kernel). Identical to rb::accumulate on equal-length spans.
+  void (*accumulate_sat)(IqSample* dst, const IqSample* src, std::size_t n);
+
+  /// CompMethod::None wire codec: big-endian u16 i then q per sample
+  /// (4 bytes/sample). Buffers must hold n samples / 4*n bytes.
+  void (*pack_none)(const IqSample* s, std::size_t n, std::uint8_t* out);
+  void (*unpack_none)(const std::uint8_t* in, std::size_t n, IqSample* out);
+};
+
+/// The active kernel table. First call selects a tier (env override, then
+/// best supported) and records it in rb::iqstats for telemetry.
+const IqKernelOps& iq_ops();
+
+/// Tier of the active table.
+KernelTier iq_kernel_tier();
+
+/// True when `t` is both compiled in and supported by this CPU.
+bool iq_tier_available(KernelTier t);
+
+/// Kernel table of a specific tier, or nullptr when unavailable. Used by
+/// the equivalence tests and the per-tier benchmarks.
+const IqKernelOps* iq_ops_for(KernelTier t);
+
+/// Force the active tier (tests/benchmarks only; call from one thread
+/// while no datapath is running). Returns false when unavailable.
+bool iq_force_tier(KernelTier t);
+
+}  // namespace rb

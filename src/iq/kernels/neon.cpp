@@ -1,0 +1,150 @@
+// NEON kernel tier (aarch64/arm builds only). Conservative: intrinsics
+// cover the element-wise kernels (max-magnitude scan, saturating combine,
+// u16 byte swap); mantissa pack/unpack uses the shared 64-bit word packer
+// on vector-shifted mantissas, which is where most of the win over the
+// per-fragment BitWriter comes from anyway. Untested ISA variants stay
+// simple on purpose - every path is still bit-exact against scalar.cpp by
+// construction (vqaddq_s16 == sat16(a+b), vabsq/vmaxq match the unsigned
+// |INT16_MIN| convention).
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+
+#include <arm_neon.h>
+
+#include "iq/kernels/bitpack.h"
+#include "iq/kernels/tiers.h"
+
+namespace rb::iqk {
+namespace {
+
+inline const std::int16_t* as_i16(const IqSample* s) {
+  return reinterpret_cast<const std::int16_t*>(s);
+}
+inline std::int16_t* as_i16(IqSample* s) {
+  return reinterpret_cast<std::int16_t*>(s);
+}
+
+std::uint32_t max_magnitude_neon(const IqSample* s, std::size_t n) {
+  const std::int16_t* p = as_i16(s);
+  const std::size_t len = 2 * n;
+  std::size_t k = 0;
+  uint16x8_t vmax = vdupq_n_u16(0);
+  for (; k + 8 <= len; k += 8) {
+    // vabsq_s16(INT16_MIN) == INT16_MIN == 0x8000; reinterpreting as u16
+    // reads it as 32768, exactly the scalar |INT16_MIN|.
+    const uint16x8_t a = vreinterpretq_u16_s16(vabsq_s16(vld1q_s16(p + k)));
+    vmax = vmaxq_u16(vmax, a);
+  }
+  std::uint32_t m = 0;
+#if defined(__aarch64__)
+  m = vmaxvq_u16(vmax);
+#else
+  uint16x4_t r = vmax_u16(vget_low_u16(vmax), vget_high_u16(vmax));
+  r = vpmax_u16(r, r);
+  r = vpmax_u16(r, r);
+  m = vget_lane_u16(r, 0);
+#endif
+  for (; k < len; ++k) {
+    const std::int32_t v = p[k];
+    const std::uint32_t a = std::uint32_t(v < 0 ? -v : v);
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+void pack_mantissas_neon(const IqSample* s, std::size_t n, int width,
+                         unsigned shift, std::uint8_t* out) {
+  const std::int16_t* p = as_i16(s);
+  alignas(16) std::int16_t m[24];
+  const int16x8_t cnt = vdupq_n_s16(-std::int16_t(shift));
+  std::size_t rem = n;
+  while (rem >= 12) {
+    for (int j = 0; j < 24; j += 8)
+      vst1q_s16(m + j, vshlq_s16(vld1q_s16(p + j), cnt));
+    pack_words(m, 24, width, out);
+    out += (24u * unsigned(width)) / 8;  // one PRB is byte-aligned
+    p += 24;
+    rem -= 12;
+  }
+  if (rem > 0) {
+    for (std::size_t k = 0; k < 2 * rem; ++k)
+      m[k] = std::int16_t(std::int32_t(p[k]) >> shift);
+    pack_words(m, 2 * rem, width, out);
+  }
+}
+
+void unpack_mantissas_neon(const std::uint8_t* in, std::size_t n, int width,
+                           unsigned shift, IqSample* out) {
+  std::int16_t* o = as_i16(out);
+  alignas(16) std::int16_t m[24];
+  const int32x4_t cnt = vdupq_n_s32(std::int32_t(shift));
+  std::size_t rem = n;
+  while (rem >= 12) {
+    unpack_words(in, 24, width, m);
+    in += (24u * unsigned(width)) / 8;
+    for (int j = 0; j < 24; j += 8) {
+      const int16x8_t v = vld1q_s16(m + j);
+      const int32x4_t lo = vshlq_s32(vmovl_s16(vget_low_s16(v)), cnt);
+      const int32x4_t hi = vshlq_s32(vmovl_s16(vget_high_s16(v)), cnt);
+      vst1q_s16(o + j, vcombine_s16(vqmovn_s32(lo), vqmovn_s32(hi)));
+    }
+    o += 24;
+    rem -= 12;
+  }
+  if (rem > 0) {
+    unpack_words(in, 2 * rem, width, m);
+    for (std::size_t k = 0; k < 2 * rem; ++k)
+      o[k] = sat16(std::int32_t(std::uint32_t(std::int32_t(m[k])) << shift));
+  }
+}
+
+void accumulate_sat_neon(IqSample* dst, const IqSample* src, std::size_t n) {
+  std::int16_t* d = as_i16(dst);
+  const std::int16_t* s = as_i16(src);
+  const std::size_t len = 2 * n;
+  std::size_t k = 0;
+  for (; k + 8 <= len; k += 8)
+    vst1q_s16(d + k, vqaddq_s16(vld1q_s16(d + k), vld1q_s16(s + k)));
+  for (; k < len; ++k) d[k] = sat16(std::int32_t(d[k]) + s[k]);
+}
+
+/// Both CompMethod::None directions are the same u16 byte swap.
+inline void bswap16_stream(std::uint8_t* dst, const std::uint8_t* src,
+                           std::size_t bytes) {
+  std::size_t k = 0;
+  for (; k + 16 <= bytes; k += 16)
+    vst1q_u8(dst + k, vrev16q_u8(vld1q_u8(src + k)));
+  for (; k + 2 <= bytes; k += 2) {
+    dst[k] = src[k + 1];
+    dst[k + 1] = src[k];
+  }
+}
+
+void pack_none_neon(const IqSample* s, std::size_t n, std::uint8_t* out) {
+  bswap16_stream(out, reinterpret_cast<const std::uint8_t*>(s), 4 * n);
+}
+
+void unpack_none_neon(const std::uint8_t* in, std::size_t n, IqSample* out) {
+  bswap16_stream(reinterpret_cast<std::uint8_t*>(out), in, 4 * n);
+}
+
+constexpr IqKernelOps kNeonOps{
+    KernelTier::Neon,      max_magnitude_neon,  pack_mantissas_neon,
+    unpack_mantissas_neon, accumulate_sat_neon, pack_none_neon,
+    unpack_none_neon,
+};
+
+}  // namespace
+
+const IqKernelOps* neon_ops() { return &kNeonOps; }
+
+}  // namespace rb::iqk
+
+#else  // non-ARM build: tier not compiled in.
+
+#include "iq/kernels/tiers.h"
+
+namespace rb::iqk {
+const IqKernelOps* neon_ops() { return nullptr; }
+}  // namespace rb::iqk
+
+#endif

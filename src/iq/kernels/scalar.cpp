@@ -1,0 +1,87 @@
+// Scalar reference kernels: the executable specification every SIMD tier
+// must match bit-for-bit. Pack/unpack run through the generic
+// BitWriter/BitReader so the reference stays byte-identical to the
+// original codec (and keeps working for any width 2..16).
+#include "common/bytes.h"
+#include "iq/kernels/bitpack.h"
+#include "iq/kernels/tiers.h"
+
+namespace rb::iqk {
+namespace {
+
+std::uint32_t max_magnitude_scalar(const IqSample* s, std::size_t n) {
+  std::uint32_t m = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint32_t ai =
+        std::uint32_t(s[k].i < 0 ? -(std::int32_t(s[k].i)) : s[k].i);
+    const std::uint32_t aq =
+        std::uint32_t(s[k].q < 0 ? -(std::int32_t(s[k].q)) : s[k].q);
+    if (ai > m) m = ai;
+    if (aq > m) m = aq;
+  }
+  return m;
+}
+
+void pack_mantissas_scalar(const IqSample* s, std::size_t n, int width,
+                           unsigned shift, std::uint8_t* out) {
+  BitWriter bw({out, packed_bytes(2 * n, width)});
+  for (std::size_t k = 0; k < n; ++k) {
+    bw.put(std::int32_t(s[k].i) >> shift, width);
+    bw.put(std::int32_t(s[k].q) >> shift, width);
+  }
+}
+
+void unpack_mantissas_scalar(const std::uint8_t* in, std::size_t n, int width,
+                             unsigned shift, IqSample* out) {
+  BitReader br({in, packed_bytes(2 * n, width)});
+  for (std::size_t k = 0; k < n; ++k) {
+    // Shift in unsigned: a negative mantissa shifted left is UB in signed
+    // arithmetic; the uint32 shift with wrap-around conversion (C++20
+    // modular) computes the same value for every width<=16, shift<=15.
+    const std::int32_t i =
+        std::int32_t(std::uint32_t(br.get(width)) << shift);
+    const std::int32_t q =
+        std::int32_t(std::uint32_t(br.get(width)) << shift);
+    out[k] = IqSample{sat16(i), sat16(q)};
+  }
+}
+
+void accumulate_sat_scalar(IqSample* dst, const IqSample* src, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    dst[k].i = sat16(std::int32_t(dst[k].i) + src[k].i);
+    dst[k].q = sat16(std::int32_t(dst[k].q) + src[k].q);
+  }
+}
+
+void pack_none_scalar(const IqSample* s, std::size_t n, std::uint8_t* out) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint16_t i = std::uint16_t(s[k].i);
+    const std::uint16_t q = std::uint16_t(s[k].q);
+    out[0] = std::uint8_t(i >> 8);
+    out[1] = std::uint8_t(i);
+    out[2] = std::uint8_t(q >> 8);
+    out[3] = std::uint8_t(q);
+    out += 4;
+  }
+}
+
+void unpack_none_scalar(const std::uint8_t* in, std::size_t n,
+                        IqSample* out) {
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k].i = std::int16_t(std::uint16_t((in[0] << 8) | in[1]));
+    out[k].q = std::int16_t(std::uint16_t((in[2] << 8) | in[3]));
+    in += 4;
+  }
+}
+
+constexpr IqKernelOps kScalarOps{
+    KernelTier::Scalar,       max_magnitude_scalar, pack_mantissas_scalar,
+    unpack_mantissas_scalar,  accumulate_sat_scalar, pack_none_scalar,
+    unpack_none_scalar,
+};
+
+}  // namespace
+
+const IqKernelOps* scalar_ops() { return &kScalarOps; }
+
+}  // namespace rb::iqk

@@ -1,0 +1,212 @@
+// SSE4.2 kernel tier (128-bit). Same structure as avx2.cpp at half the
+// vector width; kept separate so hosts without AVX2 (or pinned via
+// RB_IQ_KERNEL=sse42) still get a vector path. Compiled with -msse4.2;
+// dispatch.cpp gates on cpuid before handing out this table.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <nmmintrin.h>
+
+#include "iq/kernels/bitpack.h"
+#include "iq/kernels/tiers.h"
+
+namespace rb::iqk {
+namespace {
+
+inline const std::int16_t* as_i16(const IqSample* s) {
+  return reinterpret_cast<const std::int16_t*>(s);
+}
+inline std::int16_t* as_i16(IqSample* s) {
+  return reinterpret_cast<std::int16_t*>(s);
+}
+
+inline __m128i bswap16_128(__m128i v) {
+  const __m128i sh = _mm_setr_epi8(1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13,
+                                   12, 15, 14);
+  return _mm_shuffle_epi8(v, sh);
+}
+
+std::uint32_t max_magnitude_sse42(const IqSample* s, std::size_t n) {
+  const std::int16_t* p = as_i16(s);
+  const std::size_t len = 2 * n;
+  std::size_t k = 0;
+  __m128i vmax = _mm_setzero_si128();
+  for (; k + 8 <= len; k += 8) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + k));
+    // abs_epi16(INT16_MIN) stays 0x8000 == unsigned 32768, matching scalar.
+    vmax = _mm_max_epu16(vmax, _mm_abs_epi16(v));
+  }
+  const __m128i inv = _mm_xor_si128(vmax, _mm_set1_epi16(-1));
+  std::uint32_t m =
+      0xffffu ^ std::uint32_t(_mm_extract_epi16(_mm_minpos_epu16(inv), 0));
+  for (; k < len; ++k) {
+    const std::int32_t v = p[k];
+    const std::uint32_t a = std::uint32_t(v < 0 ? -v : v);
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+/// (v >> shift) for one PRB's 24 int16 components.
+inline void mantissas24(const std::int16_t* p, unsigned shift,
+                        std::int16_t* out24) {
+  const __m128i cnt = _mm_cvtsi32_si128(int(shift));
+  for (int j = 0; j < 24; j += 8) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + j));
+    _mm_store_si128(reinterpret_cast<__m128i*>(out24 + j),
+                    _mm_sra_epi16(v, cnt));
+  }
+}
+
+void pack_mantissas_sse42(const IqSample* s, std::size_t n, int width,
+                          unsigned shift, std::uint8_t* out) {
+  const std::int16_t* p = as_i16(s);
+  alignas(16) std::int16_t m[24];
+  std::size_t rem = n;
+  while (rem >= 12) {
+    mantissas24(p, shift, m);
+    switch (width) {
+      case 8:
+        for (int j = 0; j < 24; ++j) out[j] = std::uint8_t(m[j]);
+        out += 24;
+        break;
+      case 16:
+        for (int j = 0; j < 24; j += 8) {
+          const __m128i v =
+              _mm_load_si128(reinterpret_cast<const __m128i*>(m + j));
+          _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 2 * j),
+                           bswap16_128(v));
+        }
+        out += 48;
+        break;
+      default:
+        pack_words(m, 24, width, out);
+        out += (24u * unsigned(width)) / 8;  // one PRB is byte-aligned
+    }
+    p += 24;
+    rem -= 12;
+  }
+  if (rem > 0) {
+    for (std::size_t k = 0; k < 2 * rem; ++k)
+      m[k] = std::int16_t(std::int32_t(p[k]) >> shift);
+    pack_words(m, 2 * rem, width, out);
+  }
+}
+
+/// sat16(m * 2^shift) for 8 mantissas: widen, shift, saturating re-pack.
+inline void shift_sat8(const std::int16_t* m8, unsigned shift,
+                       std::int16_t* out) {
+  const __m128i v = _mm_load_si128(reinterpret_cast<const __m128i*>(m8));
+  if (shift == 0) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out), v);
+    return;
+  }
+  const __m128i cnt = _mm_cvtsi32_si128(int(shift));
+  const __m128i lo = _mm_sll_epi32(_mm_cvtepi16_epi32(v), cnt);
+  const __m128i hi =
+      _mm_sll_epi32(_mm_cvtepi16_epi32(_mm_srli_si128(v, 8)), cnt);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), _mm_packs_epi32(lo, hi));
+}
+
+void unpack_mantissas_sse42(const std::uint8_t* in, std::size_t n, int width,
+                            unsigned shift, IqSample* out) {
+  std::int16_t* o = as_i16(out);
+  alignas(16) std::int16_t m[24];
+  std::size_t rem = n;
+  while (rem >= 12) {
+    switch (width) {
+      case 8: {
+        const __m128i b0 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+        _mm_store_si128(reinterpret_cast<__m128i*>(m), _mm_cvtepi8_epi16(b0));
+        _mm_store_si128(reinterpret_cast<__m128i*>(m + 8),
+                        _mm_cvtepi8_epi16(_mm_srli_si128(b0, 8)));
+        const __m128i b1 =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(in + 16));
+        _mm_store_si128(reinterpret_cast<__m128i*>(m + 16),
+                        _mm_cvtepi8_epi16(b1));
+        in += 24;
+        break;
+      }
+      case 16:
+        for (int j = 0; j < 24; j += 8) {
+          const __m128i v =
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 2 * j));
+          _mm_store_si128(reinterpret_cast<__m128i*>(m + j), bswap16_128(v));
+        }
+        in += 48;
+        break;
+      default:
+        unpack_words(in, 24, width, m);
+        in += (24u * unsigned(width)) / 8;
+    }
+    shift_sat8(m, shift, o);
+    shift_sat8(m + 8, shift, o + 8);
+    shift_sat8(m + 16, shift, o + 16);
+    o += 24;
+    rem -= 12;
+  }
+  if (rem > 0) {
+    unpack_words(in, 2 * rem, width, m);
+    for (std::size_t k = 0; k < 2 * rem; ++k)
+      o[k] = sat16(std::int32_t(std::uint32_t(std::int32_t(m[k])) << shift));
+  }
+}
+
+void accumulate_sat_sse42(IqSample* dst, const IqSample* src, std::size_t n) {
+  std::int16_t* d = as_i16(dst);
+  const std::int16_t* s = as_i16(src);
+  const std::size_t len = 2 * n;
+  std::size_t k = 0;
+  for (; k + 8 <= len; k += 8) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(d + k));
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + k));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(d + k), _mm_adds_epi16(a, b));
+  }
+  for (; k < len; ++k) d[k] = sat16(std::int32_t(d[k]) + s[k]);
+}
+
+/// Both CompMethod::None directions are the same u16 byte swap.
+inline void bswap16_stream(std::uint8_t* dst, const std::uint8_t* src,
+                           std::size_t bytes) {
+  std::size_t k = 0;
+  for (; k + 16 <= bytes; k += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + k));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + k), bswap16_128(v));
+  }
+  for (; k + 2 <= bytes; k += 2) {
+    dst[k] = src[k + 1];
+    dst[k + 1] = src[k];
+  }
+}
+
+void pack_none_sse42(const IqSample* s, std::size_t n, std::uint8_t* out) {
+  bswap16_stream(out, reinterpret_cast<const std::uint8_t*>(s), 4 * n);
+}
+
+void unpack_none_sse42(const std::uint8_t* in, std::size_t n, IqSample* out) {
+  bswap16_stream(reinterpret_cast<std::uint8_t*>(out), in, 4 * n);
+}
+
+constexpr IqKernelOps kSse42Ops{
+    KernelTier::Sse42,      max_magnitude_sse42,  pack_mantissas_sse42,
+    unpack_mantissas_sse42, accumulate_sat_sse42, pack_none_sse42,
+    unpack_none_sse42,
+};
+
+}  // namespace
+
+const IqKernelOps* sse42_ops() { return &kSse42Ops; }
+
+}  // namespace rb::iqk
+
+#else  // non-x86 build: tier not compiled in.
+
+#include "iq/kernels/tiers.h"
+
+namespace rb::iqk {
+const IqKernelOps* sse42_ops() { return nullptr; }
+}  // namespace rb::iqk
+
+#endif

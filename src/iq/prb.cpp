@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "iq/kernels/kernels.h"
+
 namespace rb {
 
 std::size_t merge_compressed(std::span<const std::span<const std::uint8_t>> srcs,
@@ -16,7 +18,7 @@ std::size_t merge_compressed(std::span<const std::span<const std::uint8_t>> srcs
   if (!decompress_prbs(srcs[0], n_prb, cfg, acc)) return 0;
   for (std::size_t s = 1; s < srcs.size(); ++s) {
     if (!decompress_prbs(srcs[s], n_prb, cfg, tmp)) return 0;
-    accumulate(acc, tmp);
+    iq_ops().accumulate_sat(acc.data(), tmp.data(), n_samples);
   }
   auto written = compress_prbs(IqConstSpan(acc.data(), n_samples), cfg, dst);
   return written.value_or(0);

@@ -16,12 +16,15 @@
 #include <span>
 #include <vector>
 
+#include "common/iq_stats.h"
 #include "iq/bfp.h"
 
 namespace rb {
 
 /// Scratch space reused across calls to avoid per-packet allocation on the
-/// datapath. One instance per middlebox worker.
+/// datapath. One instance per middlebox worker; growth is steady-state
+/// free (capacity sticks at the largest grid seen) and reported via the
+/// arena high-water mark.
 struct PrbScratch {
   std::vector<IqSample> a;
   std::vector<IqSample> b;
@@ -29,6 +32,7 @@ struct PrbScratch {
   void ensure(std::size_t n) {
     if (a.size() < n) a.resize(n);
     if (b.size() < n) b.resize(n);
+    iqstats::raise_hwm(iqstats::arena_samples_hwm(), a.size());
   }
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/iq_stats.h"
 #include "obs/obs.h"
 
 namespace rb {
@@ -124,14 +125,20 @@ void DasMiddlebox::combine_group(std::uint64_t key, MbContext& ctx) {
     }
   }
   done_.push_back(key);
-  auto batch = ctx.cache().take(key);
+  // The worker scratch arena replaces per-group vector allocations: after
+  // warm-up, taking the batch, deduping copies and collecting source
+  // spans all reuse capacity held by the arena.
+  MbScratch& sc = ctx.scratch();
+  auto& batch = sc.batch;
+  ctx.cache().take_into(key, batch);
   ctx.charge_cache_op();
   if (batch.empty()) return;
+  iqstats::raise_hwm(iqstats::arena_batch_hwm(), batch.size());
 
   // Element-wise IQ sum per section (A4), one copy per distinct RU: a
   // duplicated fronthaul frame must not double that RU's signal.
-  std::vector<CachedPacket*> copies;
-  copies.reserve(batch.size());
+  auto& copies = sc.copies;
+  copies.clear();
   for (const auto& m : cfg_.ru_macs) {
     for (auto& e : batch) {
       if (e.frame.eth.src == m) {
@@ -140,6 +147,7 @@ void DasMiddlebox::combine_group(std::uint64_t key, MbContext& ctx) {
       }
     }
   }
+  iqstats::raise_hwm(iqstats::arena_copies_hwm(), copies.size());
   if (batch.size() > copies.size())
     ctx.telemetry().inc("das_duplicate_copies",
                         std::uint64_t(batch.size() - copies.size()));
@@ -153,9 +161,9 @@ void DasMiddlebox::combine_group(std::uint64_t key, MbContext& ctx) {
   CachedPacket& primary = *copies.front();
   const auto& psec = primary.frame.uplane().sections;
   bool ok = true;
+  auto& srcs = sc.srcs;
   for (std::size_t si = 0; ok && si < psec.size(); ++si) {
-    std::vector<std::span<const std::uint8_t>> srcs;
-    srcs.reserve(copies.size());
+    srcs.clear();
     for (auto* e : copies) {
       const auto& esec = e->frame.uplane().sections;
       if (si >= esec.size() ||
@@ -168,6 +176,7 @@ void DasMiddlebox::combine_group(std::uint64_t key, MbContext& ctx) {
                                             esec[si].payload_len));
     }
     if (!ok) break;
+    iqstats::raise_hwm(iqstats::arena_srcs_hwm(), srcs.size());
     // Merge into the primary packet's payload in place: same geometry,
     // same compression config, so the byte length is unchanged.
     auto dst = primary.pkt->raw().subspan(psec[si].payload_offset,

@@ -3,6 +3,22 @@
 #include <cstring>
 
 namespace rb {
+namespace {
+
+/// Process-wide thread slot: each thread that ever touches a pool gets a
+/// distinct small index, used to address its magazine in every pool.
+/// Slots are never reused; a process churning through more than
+/// kMaxThreadSlots distinct threads degrades those extras to the locked
+/// path (correct, just slower).
+std::atomic<unsigned> g_thread_slot_counter{0};
+
+unsigned thread_slot() {
+  thread_local const unsigned slot =
+      g_thread_slot_counter.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace
 
 void PacketDeleter::operator()(Packet* p) const {
   if (p && p->pool_) p->pool_->release(p);
@@ -16,21 +32,47 @@ PacketPool::PacketPool(std::size_t capacity) : capacity_(capacity) {
     storage_.back()->pool_ = this;
     free_.push_back(storage_.back().get());
   }
+  mags_ = std::make_unique<Magazine[]>(kMaxThreadSlots);
 }
 
+// Buffers parked in magazines are just pointers into storage_; nothing to
+// hand back on destruction.
 PacketPool::~PacketPool() = default;
+
+PacketPool::Magazine* PacketPool::my_magazine() {
+  const unsigned slot = thread_slot();
+  if (slot >= kMaxThreadSlots) return nullptr;
+  return &mags_[slot];
+}
 
 PacketPtr PacketPool::alloc() {
   Packet* p = nullptr;
-  {
+  Magazine* m = my_magazine();
+  if (m != nullptr && m->count > 0) {
+    p = m->items[--m->count];
+  } else {
     std::lock_guard<std::mutex> lk(mu_);
-    if (free_.empty()) {
-      ++alloc_failures_;
-      return nullptr;
+    if (!free_.empty()) {
+      p = free_.back();
+      free_.pop_back();
+      if (m != nullptr) {
+        // Batch-refill while we hold the lock so the next half-magazine
+        // of allocs on this thread stays lock-free.
+        std::size_t take = free_.size() < kMagazineSize / 2
+                               ? free_.size()
+                               : kMagazineSize / 2;
+        while (take-- > 0) {
+          m->items[m->count++] = free_.back();
+          free_.pop_back();
+        }
+      }
     }
-    p = free_.back();
-    free_.pop_back();
   }
+  if (p == nullptr) {
+    alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
   p->len_ = 0;
   p->rx_time_ns = 0;
   p->ingress_port = 0;
@@ -48,6 +90,19 @@ PacketPtr PacketPool::clone(const Packet& src) {
 }
 
 void PacketPool::release(Packet* p) {
+  outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  Magazine* m = my_magazine();
+  if (m != nullptr) {
+    if (m->count == kMagazineSize) {
+      // Full: flush half to the global list so buffers keep circulating
+      // to other threads instead of accumulating here.
+      std::lock_guard<std::mutex> lk(mu_);
+      for (std::size_t k = 0; k < kMagazineSize / 2; ++k)
+        free_.push_back(m->items[--m->count]);
+    }
+    m->items[m->count++] = p;
+    return;
+  }
   std::lock_guard<std::mutex> lk(mu_);
   free_.push_back(p);
 }

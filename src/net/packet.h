@@ -6,6 +6,8 @@
 // generate > 7 KB U-plane frames, paper section 5).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -56,11 +58,14 @@ using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
 /// which the ports count as drops - the same back-pressure behaviour an
 /// mbuf pool exhibits under overload.
 ///
-/// Thread-safe: the free list is mutex-guarded so sharded workers of the
-/// parallel execution engine can allocate/release concurrently (packets
-/// cross shard boundaries when a flow's producer and consumer live on
-/// different workers). The critical section is a pointer push/pop; the
-/// payload copy of clone() happens outside the lock.
+/// Thread-safe with per-thread magazines: each worker owns a small
+/// free-buffer cache (indexed by a process-wide thread slot), so the
+/// steady-state alloc/release pair is lock-free - the mutex-guarded
+/// global free list is touched only to refill or flush a magazine, in
+/// batches. Packets may cross shard boundaries (a flow's producer and
+/// consumer on different workers); buffers then migrate between magazines
+/// through the global list. The payload copy of clone() happens outside
+/// any lock.
 class PacketPool {
  public:
   explicit PacketPool(std::size_t capacity = 4096);
@@ -77,12 +82,10 @@ class PacketPool {
 
   std::size_t capacity() const { return capacity_; }
   std::size_t in_use() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return capacity_ - free_.size();
+    return outstanding_.load(std::memory_order_acquire);
   }
   std::uint64_t alloc_failures() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return alloc_failures_;
+    return alloc_failures_.load(std::memory_order_acquire);
   }
 
   /// Process-wide default pool used when callers do not wire their own.
@@ -90,13 +93,28 @@ class PacketPool {
 
  private:
   friend struct PacketDeleter;
+
+  /// Per-thread free-buffer cache. Owned exclusively by the thread whose
+  /// slot indexes it, so no synchronization on the fast path.
+  static constexpr std::size_t kMagazineSize = 64;
+  struct alignas(64) Magazine {
+    std::array<Packet*, kMagazineSize> items;
+    std::size_t count = 0;
+  };
+  /// Threads beyond this many distinct slots fall back to the locked path.
+  static constexpr std::size_t kMaxThreadSlots = 64;
+
   void release(Packet* p);
+  /// This thread's magazine, or nullptr when the slot space is exhausted.
+  Magazine* my_magazine();
 
   std::size_t capacity_;
   std::vector<std::unique_ptr<Packet>> storage_;
-  mutable std::mutex mu_;  // guards free_ and alloc_failures_
+  mutable std::mutex mu_;  // guards free_
   std::vector<Packet*> free_;
-  std::uint64_t alloc_failures_ = 0;
+  std::unique_ptr<Magazine[]> mags_;  // kMaxThreadSlots entries
+  std::atomic<std::size_t> outstanding_{0};
+  std::atomic<std::uint64_t> alloc_failures_{0};
 };
 
 }  // namespace rb

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <set>
 
+#include "common/iq_stats.h"
 #include "obs/obs.h"
 
 namespace rb::obs {
@@ -109,6 +110,28 @@ std::string prometheus_text(const Collector& c) {
   appendf(out, "rb_obs_trace_events_total %" PRIu64 "\n", c.total_events());
   out += "# TYPE rb_obs_trace_dropped_total counter\n";
   appendf(out, "rb_obs_trace_dropped_total %" PRIu64 "\n", c.dropped());
+
+  // IQ datapath: active kernel dispatch tier (value = tier enum, label =
+  // name; -1/none until the first codec call selects) and scratch-arena
+  // high-water marks. Read from the common stats registry - obs links
+  // only rb_common, the iq layer writes.
+  {
+    const int tier = iqstats::kernel_tier().load(std::memory_order_relaxed);
+    const char* name =
+        iqstats::kernel_tier_label().load(std::memory_order_relaxed);
+    out += "# TYPE rb_iq_kernel_tier gauge\n";
+    appendf(out, "rb_iq_kernel_tier{name=\"%s\"} %d\n",
+            name != nullptr ? name : "none", tier);
+    out += "# TYPE rb_iq_arena_hwm gauge\n";
+    appendf(out, "rb_iq_arena_hwm{arena=\"samples\"} %" PRIu64 "\n",
+            iqstats::arena_samples_hwm().load(std::memory_order_relaxed));
+    appendf(out, "rb_iq_arena_hwm{arena=\"batch\"} %" PRIu64 "\n",
+            iqstats::arena_batch_hwm().load(std::memory_order_relaxed));
+    appendf(out, "rb_iq_arena_hwm{arena=\"copies\"} %" PRIu64 "\n",
+            iqstats::arena_copies_hwm().load(std::memory_order_relaxed));
+    appendf(out, "rb_iq_arena_hwm{arena=\"srcs\"} %" PRIu64 "\n",
+            iqstats::arena_srcs_hwm().load(std::memory_order_relaxed));
+  }
 
   if (!c.budgets().empty()) {
     const SlotBudget& b = c.budgets().back();
