@@ -51,6 +51,30 @@ std::string MgmtEndpoint::handle(const std::string& cmd) {
     os << "pool_alloc_failures=" << rt_->pool().alloc_failures() << "\n";
     return os.str();
   }
+  if (verb == "prom") {
+    // Per-runtime Prometheus rendering: every counter and gauge of this
+    // middlebox, labeled with its name. This is how cache pressure
+    // (cache_evicted / cache_stale_dropped), failover hysteresis state
+    // and controller actuation effects are scraped externally.
+    const std::string mb = rt_->config().name;
+    std::ostringstream os;
+    os << "# TYPE rb_mb_counter counter\n";
+    for (const auto& [k, v] : rt_->telemetry().counters())
+      os << "rb_mb_counter{mb=\"" << mb << "\",name=\"" << k << "\"} " << v
+         << "\n";
+    os << "# TYPE rb_mb_gauge gauge\n";
+    for (const auto& [k, v] : rt_->telemetry().gauges())
+      os << "rb_mb_gauge{mb=\"" << mb << "\",name=\"" << k << "\"} " << v
+         << "\n";
+    return os.str();
+  }
+  if (verb == "ctrl") {
+    if (!ctrl_) return "no controller attached";
+    std::string rest;
+    std::getline(is, rest);
+    const std::size_t at = rest.find_first_not_of(' ');
+    return ctrl_->ctrl_mgmt(at == std::string::npos ? "" : rest.substr(at));
+  }
   if (verb == "obs") {
     // Observability exporters: process-wide collector, queryable through
     // any middlebox's management endpoint.

@@ -12,15 +12,29 @@
 
 namespace rb {
 
+/// Narrow interface the adaptation controller (src/ctrl, a layer above
+/// core) implements so the "ctrl" mgmt verb can delegate to it without
+/// core linking against ctrl.
+class CtrlMgmtHandler {
+ public:
+  virtual ~CtrlMgmtHandler() = default;
+  /// Handle a "ctrl <subcommand>" line (the verb is already stripped).
+  virtual std::string ctrl_mgmt(const std::string& cmd) = 0;
+};
+
 class MgmtEndpoint {
  public:
   explicit MgmtEndpoint(MiddleboxRuntime& rt) : rt_(&rt) {}
+
+  /// Attach the deployment's adaptation controller (enables "ctrl ...").
+  void set_ctrl(CtrlMgmtHandler* ctrl) { ctrl_ = ctrl; }
 
   /// Handle one command line; returns the response text.
   std::string handle(const std::string& cmd);
 
  private:
   MiddleboxRuntime* rt_;
+  CtrlMgmtHandler* ctrl_ = nullptr;
 };
 
 }  // namespace rb

@@ -60,6 +60,7 @@ struct MbScratch {
   std::vector<CachedPacket> batch;
   std::vector<CachedPacket*> copies;
   std::vector<std::span<const std::uint8_t>> srcs;
+  std::vector<CompConfig> src_comps;  // per-source widths (mixed-width merge)
 };
 
 /// Action facade handed to the handler. Bound to the runtime and to the
@@ -95,6 +96,13 @@ class MbContext {
   std::size_t merge_payloads(
       std::span<const std::span<const std::uint8_t>> srcs, int n_prb,
       const CompConfig& cfg, std::span<std::uint8_t> dst);
+  /// Mixed-width merge: each source decoded at its own per-packet
+  /// udCompHdr config, recompressed at `dst_cfg` (the width the merged
+  /// frame's header advertises).
+  std::size_t merge_payloads(
+      std::span<const std::span<const std::uint8_t>> srcs,
+      std::span<const CompConfig> src_cfgs, int n_prb,
+      const CompConfig& dst_cfg, std::span<std::uint8_t> dst);
   /// Aligned compressed-PRB copy between payloads (no codec work).
   bool copy_prbs(std::span<const std::uint8_t> src, int src_prb,
                  std::span<std::uint8_t> dst, int dst_prb, int n_prb,

@@ -109,6 +109,19 @@ std::size_t MbContext::merge_payloads(
   return merge_compressed(srcs, n_prb, cfg, dst, g_scratch);
 }
 
+std::size_t MbContext::merge_payloads(
+    std::span<const std::span<const std::uint8_t>> srcs,
+    std::span<const CompConfig> src_cfgs, int n_prb,
+    const CompConfig& dst_cfg, std::span<std::uint8_t> dst) {
+  const double c0 = cost_ns_;
+  cost_ns_ += double(n_prb) *
+              (rt_->cfg_.work.per_prb_decompress_ns * double(srcs.size()) +
+               rt_->cfg_.work.per_prb_compress_ns);
+  rt_->telemetry_.inc(rt_->hot_.iq_merges);
+  trace_action(obs::kNA4Merge, c0, std::uint64_t(n_prb));
+  return merge_compressed(srcs, src_cfgs, n_prb, dst_cfg, dst, g_scratch);
+}
+
 bool MbContext::copy_prbs(std::span<const std::uint8_t> src, int src_prb,
                           std::span<std::uint8_t> dst, int dst_prb, int n_prb,
                           const CompConfig& cfg) {

@@ -14,8 +14,9 @@ bool encode_uplane(BufWriter& w, const UPlaneMsg& hdr,
   w.u8(hdr.at.frame);
   w.u16(std::uint16_t(((hdr.at.subframe & 0xf) << 12) |
                       ((hdr.at.slot & 0x3f) << 6) | (hdr.at.symbol & 0x3f)));
-  const std::size_t prb_sz = ctx.comp.prb_bytes();
   for (const auto& s : sections) {
+    const CompConfig& comp = s.effective_comp(ctx);
+    const std::size_t prb_sz = comp.prb_bytes();
     // numPrbu is 8 bits: 0 is the "whole carrier" shorthand; a section
     // covering 256..(carrier-1) PRBs cannot be expressed and must be
     // split into <=255-PRB chunks, exactly as real stacks fragment.
@@ -29,7 +30,7 @@ bool encode_uplane(BufWriter& w, const UPlaneMsg& hdr,
       w.u24(w24);
       w.u8(std::uint8_t(whole ? 0 : chunk));
       if (ctx.uplane_has_comp_hdr) {
-        w.u8(ctx.comp.ud_comp_hdr());
+        w.u8(comp.ud_comp_hdr());
         w.u8(0);  // reserved (udCompLen not used for BFP)
       }
       std::size_t payload_at = base_offset + w.written();
@@ -42,7 +43,7 @@ bool encode_uplane(BufWriter& w, const UPlaneMsg& hdr,
         v.section_id = s.section_id;
         v.start_prb = std::uint16_t(s.start_prb + emitted);
         v.num_prb = chunk;
-        v.comp = ctx.comp;
+        v.comp = comp;
         v.payload_offset = payload_at;
         v.payload_len = chunk_payload.size();
         out_sections->push_back(v);
@@ -56,7 +57,6 @@ bool encode_uplane(BufWriter& w, const UPlaneMsg& hdr,
 std::vector<std::vector<USectionData>> split_sections_for_mtu(
     std::span<const USectionData> sections, const FhContext& ctx,
     std::size_t max_frame_bytes) {
-  const std::size_t prb_sz = ctx.comp.prb_bytes();
   const std::size_t sec_hdr = 4u + (ctx.uplane_has_comp_hdr ? 2u : 0u);
   std::vector<std::vector<USectionData>> frames;
   frames.emplace_back();
@@ -71,6 +71,7 @@ std::vector<std::vector<USectionData>> split_sections_for_mtu(
     used += need;
   };
   for (const auto& s : sections) {
+    const std::size_t prb_sz = s.effective_comp(ctx).prb_bytes();
     const std::size_t whole = sec_hdr + s.payload.size();
     if (whole <= max_frame_bytes) {
       emit(s);

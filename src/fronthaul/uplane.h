@@ -48,6 +48,15 @@ struct USectionData {
   std::uint16_t start_prb = 0;
   int num_prb = 0;
   std::span<const std::uint8_t> payload;  // compressed, num_prb * prb_bytes
+  /// Per-section compression override. The udCompHdr on the wire (and the
+  /// payload sizing) follow this when set; otherwise the context default
+  /// applies. This is how a link running a controller-adapted width emits
+  /// frames that peers decode correctly packet-by-packet.
+  std::optional<CompConfig> comp;
+
+  const CompConfig& effective_comp(const FhContext& ctx) const {
+    return comp ? *comp : ctx.comp;
+  }
 };
 
 /// Encode the radio-application layer of a U-plane message. `base_offset`

@@ -42,6 +42,15 @@ std::size_t merge_compressed(std::span<const std::span<const std::uint8_t>> srcs
                              int n_prb, const CompConfig& cfg,
                              std::span<std::uint8_t> dst, PrbScratch& scratch);
 
+/// Mixed-width merge: each source payload is decoded at its own
+/// CompConfig (per-packet udCompHdr) and the sum is recompressed at
+/// `dst_cfg`. `src_cfgs.size()` must equal `srcs.size()`. Returns bytes
+/// written or 0 on error.
+std::size_t merge_compressed(std::span<const std::span<const std::uint8_t>> srcs,
+                             std::span<const CompConfig> src_cfgs, int n_prb,
+                             const CompConfig& dst_cfg,
+                             std::span<std::uint8_t> dst, PrbScratch& scratch);
+
 /// Copy `n_prb` compressed PRBs from src (starting at src_prb within the
 /// src payload) into dst (starting at dst_prb within the dst payload).
 /// Grids are aligned so compressed PRBs are moved verbatim - no codec work.

@@ -101,17 +101,45 @@ void DasMiddlebox::uplink(PacketPtr p, FhFrame& frame, MbContext& ctx) {
   auto* entries = ctx.cache().find(key);
   if (!entries) return;  // evicted under cap pressure
   if (entries->size() == 1) pending_.push_back({key, rx_ns});
+  // Completion is judged against the *active* combine set: an ejected
+  // member's copy is cached (and later dropped at combine as a
+  // non-member) but never holds the group open.
   std::size_t distinct_rus = 0;
-  for (const auto& m : cfg_.ru_macs) {
+  for (std::size_t i = 0; i < cfg_.ru_macs.size(); ++i) {
+    if (!active_[i]) continue;
     for (const auto& e : *entries) {
-      if (e.frame.eth.src == m) {
+      if (e.frame.eth.src == cfg_.ru_macs[i]) {
         ++distinct_rus;
         break;
       }
     }
   }
-  if (distinct_rus < cfg_.ru_macs.size()) return;
+  if (distinct_rus < active_members()) return;
   combine_group(key, ctx);
+}
+
+std::size_t DasMiddlebox::active_members() const {
+  std::size_t n = 0;
+  for (bool a : active_)
+    if (a) ++n;
+  return n;
+}
+
+bool DasMiddlebox::member_active(const MacAddr& mac) const {
+  for (std::size_t i = 0; i < cfg_.ru_macs.size(); ++i)
+    if (cfg_.ru_macs[i] == mac) return active_[i];
+  return false;
+}
+
+bool DasMiddlebox::set_member_active(const MacAddr& mac, bool active) {
+  for (std::size_t i = 0; i < cfg_.ru_macs.size(); ++i) {
+    if (!(cfg_.ru_macs[i] == mac)) continue;
+    if (active_[i] == active) return true;
+    if (!active && active_members() <= 1) return false;  // keep one alive
+    active_[i] = active;
+    return true;
+  }
+  return false;
 }
 
 void DasMiddlebox::combine_group(std::uint64_t key, MbContext& ctx) {
@@ -139,9 +167,10 @@ void DasMiddlebox::combine_group(std::uint64_t key, MbContext& ctx) {
   // duplicated fronthaul frame must not double that RU's signal.
   auto& copies = sc.copies;
   copies.clear();
-  for (const auto& m : cfg_.ru_macs) {
+  for (std::size_t i = 0; i < cfg_.ru_macs.size(); ++i) {
+    if (!active_[i]) continue;  // ejected member: its copy is discarded
     for (auto& e : batch) {
-      if (e.frame.eth.src == m) {
+      if (e.frame.eth.src == cfg_.ru_macs[i]) {
         copies.push_back(&e);
         break;
       }
@@ -162,8 +191,10 @@ void DasMiddlebox::combine_group(std::uint64_t key, MbContext& ctx) {
   const auto& psec = primary.frame.uplane().sections;
   bool ok = true;
   auto& srcs = sc.srcs;
+  auto& src_comps = sc.src_comps;
   for (std::size_t si = 0; ok && si < psec.size(); ++si) {
     srcs.clear();
+    src_comps.clear();
     for (auto* e : copies) {
       const auto& esec = e->frame.uplane().sections;
       if (si >= esec.size() ||
@@ -174,16 +205,20 @@ void DasMiddlebox::combine_group(std::uint64_t key, MbContext& ctx) {
       }
       srcs.push_back(e->pkt->data().subspan(esec[si].payload_offset,
                                             esec[si].payload_len));
+      src_comps.push_back(esec[si].comp);
     }
     if (!ok) break;
     iqstats::raise_hwm(iqstats::arena_srcs_hwm(), srcs.size());
-    // Merge into the primary packet's payload in place: same geometry,
-    // same compression config, so the byte length is unchanged.
+    // Merge into the primary packet's payload in place. Each copy is
+    // decoded at its own udCompHdr width (a controller-adapted RU may run
+    // fewer mantissa bits than its peers); the sum is recompressed at the
+    // primary's width, so the byte length is unchanged.
     auto dst = primary.pkt->raw().subspan(psec[si].payload_offset,
                                           psec[si].payload_len);
     const std::size_t written = ctx.merge_payloads(
         std::span<const std::span<const std::uint8_t>>(srcs.data(),
                                                        srcs.size()),
+        std::span<const CompConfig>(src_comps.data(), src_comps.size()),
         psec[si].num_prb, psec[si].comp, dst);
     ok = written == psec[si].payload_len;
   }
@@ -192,10 +227,11 @@ void DasMiddlebox::combine_group(std::uint64_t key, MbContext& ctx) {
     for (auto& e : batch) ctx.drop(std::move(e.pkt));
     return;
   }
-  if (copies.size() < cfg_.ru_macs.size()) {
+  const std::size_t expected = active_members();
+  if (copies.size() < expected) {
     ctx.telemetry().inc("das_partial_merges");
     ctx.telemetry().inc("das_missing_copies",
-                        std::uint64_t(cfg_.ru_macs.size() - copies.size()));
+                        std::uint64_t(expected - copies.size()));
   } else {
     ctx.telemetry().inc("das_merges");
   }
@@ -221,6 +257,7 @@ void DasMiddlebox::on_slot(std::int64_t slot, MbContext& ctx) {
     ctx.telemetry().inc("das_combiner_stalls", pending_.size());
   pending_.clear();
   done_.clear();
+  ctx.telemetry().set_gauge("das_active_members", double(active_members()));
 }
 
 std::string DasMiddlebox::on_mgmt(const std::string& cmd) {
@@ -232,10 +269,25 @@ std::string DasMiddlebox::on_mgmt(const std::string& cmd) {
     for (const auto& m : cfg_.ru_macs) os << m.str() << "\n";
     return os.str();
   }
+  if (verb == "members") {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < cfg_.ru_macs.size(); ++i)
+      os << cfg_.ru_macs[i].str() << " "
+         << (active_[i] ? "active" : "inactive") << "\n";
+    return os.str();
+  }
+  if (verb == "set-member") {
+    std::string mac, state;
+    is >> mac >> state;
+    if (state != "on" && state != "off") return "usage: set-member <mac> on|off";
+    return set_member_active(MacAddr::parse(mac), state == "on") ? "ok"
+                                                                 : "refused";
+  }
   if (verb == "add-ru") {
     std::string mac;
     is >> mac;
     cfg_.ru_macs.push_back(MacAddr::parse(mac));
+    active_.push_back(true);
     return "ok";
   }
   if (verb == "combine") {

@@ -41,7 +41,8 @@ class DasMiddlebox final : public MiddleboxApp {
   static constexpr int kNorth = 0;
   static constexpr int kSouth = 1;
 
-  explicit DasMiddlebox(DasConfig cfg) : cfg_(std::move(cfg)) {}
+  explicit DasMiddlebox(DasConfig cfg)
+      : cfg_(std::move(cfg)), active_(cfg_.ru_macs.size(), true) {}
 
   std::string name() const override { return "das"; }
   void on_frame(int in_port, PacketPtr p, FhFrame& frame,
@@ -55,6 +56,16 @@ class DasMiddlebox final : public MiddleboxApp {
   void on_pump_idle(std::int64_t slot, MbContext& ctx) override;
 
   const DasConfig& config() const { return cfg_; }
+
+  /// Adaptation-controller actuation: shrink/grow the uplink combine set.
+  /// An inactive member keeps receiving downlink (its floor keeps DL
+  /// coverage and the link stays observable for recovery), but its uplink
+  /// copies are no longer waited for or merged - a member whose copies
+  /// arrive past the DU latency budget would otherwise make every merged
+  /// uplink late. Refuses to deactivate the last active member.
+  bool set_member_active(const MacAddr& mac, bool active);
+  bool member_active(const MacAddr& mac) const;
+  std::size_t active_members() const;
 
  private:
   /// An uplink combine group awaiting more RU copies.
@@ -71,6 +82,7 @@ class DasMiddlebox final : public MiddleboxApp {
   bool group_done(std::uint64_t key) const;
 
   DasConfig cfg_;
+  std::vector<bool> active_;         // combine-set membership per ru_macs[i]
   std::vector<Pending> pending_;     // open groups, oldest first
   std::vector<std::uint64_t> done_;  // groups already flushed this slot
 };

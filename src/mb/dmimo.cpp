@@ -12,6 +12,20 @@ DmimoMiddlebox::DmimoMiddlebox(DmimoConfig cfg) : cfg_(std::move(cfg)) {
   }
   last_ul_slot_.assign(cfg_.rus.size(), -1);
   ru_down_.assign(cfg_.rus.size(), false);
+  forced_down_.assign(cfg_.rus.size(), false);
+}
+
+bool DmimoMiddlebox::set_ru_gated(std::size_t ru_index, bool gated) {
+  if (ru_index >= forced_down_.size()) return false;
+  if (forced_down_[ru_index] == gated) return true;
+  if (gated) {
+    std::size_t open = 0;
+    for (std::size_t i = 0; i < forced_down_.size(); ++i)
+      if (!forced_down_[i]) ++open;
+    if (open <= 1) return false;  // keep one RU radiating
+  }
+  forced_down_[ru_index] = gated;
+  return true;
 }
 
 void DmimoMiddlebox::on_slot(std::int64_t slot, MbContext& ctx) {
@@ -35,7 +49,7 @@ void DmimoMiddlebox::on_slot(std::int64_t slot, MbContext& ctx) {
       ru_down_[i] = false;
       ctx.telemetry().inc("dmimo_ru_recoveries");
     }
-    if (!ru_down_[i]) ++live;
+    if (!ru_down_[i] && !forced_down_[i]) ++live;
   }
   if (!gauges_ready_) {
     g_rus_live_ = ctx.telemetry().intern_gauge("dmimo_rus_live");
@@ -214,6 +228,13 @@ std::string DmimoMiddlebox::on_mgmt(const std::string& cmd) {
       os << "ru" << i << " last_ul_slot=" << last_ul_slot_[i]
          << (ru_down_[i] ? " DOWN" : " up") << "\n";
     return os.str();
+  }
+  if (verb == "gate-ru") {
+    std::size_t i = 0;
+    std::string state;
+    if (is >> i >> state && (state == "on" || state == "off"))
+      return set_ru_gated(i, state == "off") ? "ok" : "refused";
+    return "usage: gate-ru <index> on|off (on = participating)";
   }
   if (verb == "set-quiet-slots") {
     int v = 0;

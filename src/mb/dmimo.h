@@ -69,7 +69,23 @@ class DmimoMiddlebox final : public MiddleboxApp {
 
   bool ru_down(int ru_index) const {
     return ru_index >= 0 && ru_index < int(ru_down_.size()) &&
-           ru_down_[std::size_t(ru_index)];
+           (ru_down_[std::size_t(ru_index)] ||
+            forced_down_[std::size_t(ru_index)]);
+  }
+
+  /// Adaptation-controller actuation: force an RU's participation gate
+  /// closed (treated exactly like a quiet partner: its IQ is suppressed,
+  /// C-plane still flows so the link stays observable for recovery).
+  /// Refuses to gate the last open RU. `gated == false` reopens.
+  bool set_ru_gated(std::size_t ru_index, bool gated);
+  bool ru_gated(std::size_t ru_index) const {
+    return ru_index < forced_down_.size() && forced_down_[ru_index];
+  }
+  /// Config slot of the RU with this MAC, or -1.
+  int ru_index_of(const MacAddr& mac) const {
+    for (std::size_t i = 0; i < cfg_.rus.size(); ++i)
+      if (cfg_.rus[i].mac == mac) return int(i);
+    return -1;
   }
 
  private:
@@ -83,6 +99,7 @@ class DmimoMiddlebox final : public MiddleboxApp {
   // Partner-liveness fallback state.
   std::vector<std::int64_t> last_ul_slot_;  // -1 = never heard
   std::vector<bool> ru_down_;
+  std::vector<bool> forced_down_;  // controller-closed participation gates
   // Interned gauge handle (lazy: the owning Telemetry arrives via ctx).
   bool gauges_ready_ = false;
   Telemetry::GaugeId g_rus_live_ = 0;

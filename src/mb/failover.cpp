@@ -27,12 +27,30 @@ void FailoverMiddlebox::on_frame(int in_port, PacketPtr p, FhFrame& frame,
 
 void FailoverMiddlebox::on_slot(std::int64_t slot, MbContext& ctx) {
   current_slot_ = slot;
+  if (!gauges_ready_) {
+    g_active_ = ctx.telemetry().intern_gauge("failover_active");
+    g_last_switch_ = ctx.telemetry().intern_gauge("failover_last_switch_slot");
+    g_fresh_streak_ =
+        ctx.telemetry().intern_gauge("failover_primary_fresh_streak");
+    g_dwell_remaining_ =
+        ctx.telemetry().intern_gauge("failover_dwell_remaining");
+    gauges_ready_ = true;
+  }
   const auto set_active_gauge = [&] {
-    if (!gauges_ready_) {
-      g_active_ = ctx.telemetry().intern_gauge("failover_active");
-      gauges_ready_ = true;
-    }
     ctx.telemetry().set_gauge(g_active_, active_);
+  };
+  const auto publish_hysteresis = [&] {
+    ctx.telemetry().set_gauge(g_last_switch_, double(last_switch_slot_));
+    ctx.telemetry().set_gauge(
+        g_fresh_streak_,
+        primary_fresh_since_ < 0 ? 0.0
+                                 : double(slot - primary_fresh_since_ + 1));
+    const std::int64_t dwell =
+        last_switch_slot_ < 0
+            ? 0
+            : std::max<std::int64_t>(
+                  0, cfg_.min_dwell_slots - (slot - last_switch_slot_));
+    ctx.telemetry().set_gauge(g_dwell_remaining_, double(dwell));
   };
   // Track the primary's uninterrupted healthy streak (fresh = emitted
   // within the last slot); a single frame from a flapping primary starts
@@ -54,6 +72,7 @@ void FailoverMiddlebox::on_slot(std::int64_t slot, MbContext& ctx) {
     // half-dead DUs).
     if (!dwell_ok) {
       ctx.telemetry().inc("failover_dwell_suppressed");
+      publish_hysteresis();
       return;
     }
     const int dead = active_;
@@ -75,6 +94,7 @@ void FailoverMiddlebox::on_slot(std::int64_t slot, MbContext& ctx) {
         slot - primary_fresh_since_ + 1 >= cfg_.failback_confirm_slots;
     if (!confirmed || !dwell_ok) {
       ctx.telemetry().inc("failover_failback_deferred");
+      publish_hysteresis();
       return;
     }
     active_ = kPrimary;
@@ -82,6 +102,7 @@ void FailoverMiddlebox::on_slot(std::int64_t slot, MbContext& ctx) {
     ctx.telemetry().inc("failover_failbacks");
     set_active_gauge();
   }
+  publish_hysteresis();
 }
 
 std::string FailoverMiddlebox::on_mgmt(const std::string& cmd) {

@@ -64,9 +64,14 @@ class FailoverMiddlebox final : public MiddleboxApp {
   /// First slot of the primary's current uninterrupted healthy streak
   /// (-1 while it is stale).
   std::int64_t primary_fresh_since_ = -1;
-  // Interned gauge handle (lazy: the owning Telemetry arrives via ctx).
+  // Interned gauge handles (lazy: the owning Telemetry arrives via ctx).
   bool gauges_ready_ = false;
   Telemetry::GaugeId g_active_ = 0;
+  // Hysteresis state published every slot so the switchover logic is
+  // externally observable (Prometheus via the mgmt "prom" verb).
+  Telemetry::GaugeId g_last_switch_ = 0;
+  Telemetry::GaugeId g_fresh_streak_ = 0;
+  Telemetry::GaugeId g_dwell_remaining_ = 0;
 };
 
 }  // namespace rb

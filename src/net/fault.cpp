@@ -97,6 +97,7 @@ void FaultyLink::Dir::on_tx(PacketPtr p, std::vector<PacketPtr>& out) {
            std::uint64_t(extra));
       p->rx_time_ns += extra;
       stats.delayed++;
+      stats.delay_ns_total += std::uint64_t(extra);
       touched = true;
     }
   }
@@ -171,6 +172,7 @@ void FaultyLink::dump_dir(const Dir& d, const std::string& prefix,
   line("burst_loss", d.stats.burst_loss);
   line("flap_loss", d.stats.flap_loss);
   line("delayed", d.stats.delayed);
+  line("delay_ns_total", d.stats.delay_ns_total);
   line("duplicated", d.stats.duplicated);
   line("reordered", d.stats.reordered);
   line("corrupted", d.stats.corrupted);

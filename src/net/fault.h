@@ -74,6 +74,10 @@ struct FaultStats {
   std::uint64_t burst_loss = 0;
   std::uint64_t flap_loss = 0;
   std::uint64_t delayed = 0;
+  /// Sum of injected extra delay (ns) over all delayed packets: the
+  /// adaptation controller's jitter/latency quality tap (mean injected
+  /// one-way delay = delay_ns_total / delayed).
+  std::uint64_t delay_ns_total = 0;
   std::uint64_t duplicated = 0;
   std::uint64_t reordered = 0;
   std::uint64_t corrupted = 0;
@@ -125,6 +129,14 @@ class FaultyLink {
   const std::string& name() const { return name_; }
   const FaultStats& stats_ab() const { return ab_.stats; }
   const FaultStats& stats_ba() const { return ba_.stats; }
+
+  /// Replace a direction's plan mid-run (phased degradation scenarios).
+  /// The PRNG stream and cumulative stats carry over, so a run with the
+  /// same seed and the same mutation schedule replays bit-identically.
+  void set_plan_ab(const FaultPlan& p) { ab_.plan = p; }
+  void set_plan_ba(const FaultPlan& p) { ba_.plan = p; }
+  const FaultPlan& plan_ab() const { return ab_.plan; }
+  const FaultPlan& plan_ba() const { return ba_.plan; }
 
   /// Render both directions' counters as "<name>.<dir>.<field>=v" lines,
   /// in a fixed order (chaos tests compare these byte-for-byte).

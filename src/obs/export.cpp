@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <set>
 
+#include "common/ctrl_stats.h"
 #include "common/iq_stats.h"
 #include "obs/obs.h"
 
@@ -131,6 +132,32 @@ std::string prometheus_text(const Collector& c) {
             iqstats::arena_copies_hwm().load(std::memory_order_relaxed));
     appendf(out, "rb_iq_arena_hwm{arena=\"srcs\"} %" PRIu64 "\n",
             iqstats::arena_srcs_hwm().load(std::memory_order_relaxed));
+  }
+
+  // Adaptation controller: decision/actuation counts and wall-clock
+  // decision latency watermarks (observability only; decisions are
+  // virtual-time driven). Written by rb_ctrl via the common registry.
+  {
+    out += "# TYPE rb_ctrl_decisions_total counter\n";
+    appendf(out, "rb_ctrl_decisions_total %" PRIu64 "\n",
+            ctrlstats::decisions_total().load(std::memory_order_relaxed));
+    out += "# TYPE rb_ctrl_actions_total counter\n";
+    appendf(out, "rb_ctrl_actions_total %" PRIu64 "\n",
+            ctrlstats::actions_total().load(std::memory_order_relaxed));
+    out += "# TYPE rb_ctrl_links gauge\n";
+    appendf(out, "rb_ctrl_links{state=\"watched\"} %" PRIu64 "\n",
+            ctrlstats::links_watched().load(std::memory_order_relaxed));
+    appendf(out, "rb_ctrl_links{state=\"degraded\"} %" PRIu64 "\n",
+            ctrlstats::links_degraded().load(std::memory_order_relaxed));
+    appendf(out, "rb_ctrl_links{state=\"ejected\"} %" PRIu64 "\n",
+            ctrlstats::links_ejected().load(std::memory_order_relaxed));
+    out += "# TYPE rb_ctrl_decision_wall_ns gauge\n";
+    appendf(out, "rb_ctrl_decision_wall_ns{stat=\"last\"} %" PRIu64 "\n",
+            ctrlstats::decision_ns_last().load(std::memory_order_relaxed));
+    appendf(out, "rb_ctrl_decision_wall_ns{stat=\"max\"} %" PRIu64 "\n",
+            ctrlstats::decision_ns_hwm().load(std::memory_order_relaxed));
+    appendf(out, "rb_ctrl_decision_wall_ns{stat=\"sum\"} %" PRIu64 "\n",
+            ctrlstats::decision_ns_sum().load(std::memory_order_relaxed));
   }
 
   if (!c.budgets().empty()) {

@@ -13,6 +13,7 @@ RuModel::RuModel(RuModelConfig cfg, AirModel& air, RuId ru_id, Port& port,
       port_(&port),
       pool_(&pool) {
   n_prb_ = prbs_for_bandwidth(cfg_.site.bandwidth, Scs::kHz30);
+  ul_comp_ = cfg_.fh.comp;
 }
 
 Hertz RuModel::prb0_freq() const {
@@ -183,7 +184,7 @@ void RuModel::process_dl(std::int64_t slot, std::int64_t slot_start_ns) {
 
 void RuModel::synth_payload(std::vector<std::uint8_t>& out, int start_prb,
                             int n_prb, std::int64_t slot) {
-  const std::size_t prb_sz = cfg_.fh.comp.prb_bytes();
+  const std::size_t prb_sz = ul_comp_.prb_bytes();
   out.resize(std::size_t(n_prb) * prb_sz);
   PrbSamples samples{};
   for (int k = 0; k < n_prb; ++k) {
@@ -197,7 +198,7 @@ void RuModel::synth_payload(std::vector<std::uint8_t>& out, int start_prb,
       s.q = sat16(std::int32_t(rng_ >> 16) % (2 * a + 1) - a);
     }
     bfp_compress_prb(IqConstSpan(samples.data(), samples.size()),
-                     cfg_.fh.comp.iq_width,
+                     ul_comp_.iq_width,
                      std::span(out).subspan(std::size_t(k) * prb_sz));
   }
 }
@@ -226,6 +227,7 @@ void RuModel::emit_ul(std::int64_t slot, std::int64_t slot_start_ns) {
     sec.start_prb = std::uint16_t(req.start_prb);
     sec.num_prb = req.n_prb;
     sec.payload = payload;
+    sec.comp = ul_comp_;  // per-packet udCompHdr carries the live width
     EthHeader eth;
     eth.dst = req.reply_to;
     eth.src = cfg_.ru_mac;

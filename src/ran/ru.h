@@ -57,6 +57,22 @@ class RuModel {
   const RuStats& stats() const { return stats_; }
   int n_prb() const { return n_prb_; }
 
+  /// Adaptation-controller actuation: change the BFP mantissa width of
+  /// uplink *data* emissions (PRACH keeps the provisioned width). Peers
+  /// decode per-packet via udCompHdr, so this needs no re-provisioning.
+  /// Effective from the next emitted frame. Returns false for widths the
+  /// BFP codec cannot carry.
+  bool set_ul_iq_width(int width) {
+    if (width < 1 || width > 16) return false;
+    // Without udCompHdr on the wire, peers decode at the provisioned
+    // width; a silent change would corrupt every section they parse.
+    if (!cfg_.fh.uplane_has_comp_hdr && width != cfg_.fh.comp.iq_width)
+      return false;
+    ul_comp_.iq_width = std::uint8_t(width);
+    return true;
+  }
+  int ul_iq_width() const { return ul_comp_.iq_width; }
+
  private:
   struct UlRequest {
     int port = 0;
@@ -86,6 +102,7 @@ class RuModel {
   Hertz prb0_freq() const;
 
   RuModelConfig cfg_;
+  CompConfig ul_comp_{};  // uplink-data compression (controller-adaptable)
   AirModel* air_;
   RuId ru_id_;
   Port* port_;

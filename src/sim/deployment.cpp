@@ -333,6 +333,70 @@ std::string Deployment::fault_dump() const {
   return out;
 }
 
+ctrl::AdaptationController& Deployment::add_controller(ctrl::CtrlConfig cfg) {
+  if (cfg.name == "ctrl")
+    cfg.name = "ctrl" + std::to_string(controllers.size());
+  controllers.push_back(
+      std::make_unique<ctrl::AdaptationController>(std::move(cfg)));
+  ctrl::AdaptationController* c = controllers.back().get();
+  engine.add_begin_slot_hook([c](std::int64_t slot) { c->on_slot(slot); });
+  return *c;
+}
+
+int Deployment::ctrl_watch(ctrl::AdaptationController& c, FaultyLink& link,
+                           MiddleboxRuntime& rt, RuHandle& ru) {
+  ctrl::LinkSpec spec;
+  spec.name = link.name();
+  spec.ul_stats = &link.stats_ab();
+  spec.rt = &rt;
+  spec.nominal_iq_width = ru.ru->ul_iq_width();
+  RuModel* ru_model = ru.ru;
+  const MacAddr mac = ru.mac;
+  if (auto* das = dynamic_cast<DasMiddlebox*>(&rt.app())) {
+    spec.eject_verb = ctrl::CtrlVerb::SetDasMember;
+    spec.actuate = [das, ru_model, mac](const ctrl::CtrlAction& a) {
+      switch (a.verb) {
+        case ctrl::CtrlVerb::SetUlIqWidth:
+          return ru_model->set_ul_iq_width(a.value);
+        case ctrl::CtrlVerb::SetDasMember:
+          return das->set_member_active(mac, a.enable);
+        case ctrl::CtrlVerb::SetDmimoGate:
+          return false;
+      }
+      return false;
+    };
+  } else if (auto* dmimo = dynamic_cast<DmimoMiddlebox*>(&rt.app())) {
+    spec.eject_verb = ctrl::CtrlVerb::SetDmimoGate;
+    const int slot_index = dmimo->ru_index_of(mac);
+    spec.actuate = [dmimo, ru_model, slot_index](const ctrl::CtrlAction& a) {
+      switch (a.verb) {
+        case ctrl::CtrlVerb::SetUlIqWidth:
+          return ru_model->set_ul_iq_width(a.value);
+        case ctrl::CtrlVerb::SetDmimoGate:
+          return slot_index >= 0 &&
+                 dmimo->set_ru_gated(std::size_t(slot_index), !a.enable);
+        case ctrl::CtrlVerb::SetDasMember:
+          return false;
+      }
+      return false;
+    };
+  } else {
+    // Width-only supervision for other middlebox types.
+    spec.eject_verb = ctrl::CtrlVerb::SetDasMember;
+    spec.actuate = [ru_model](const ctrl::CtrlAction& a) {
+      return a.verb == ctrl::CtrlVerb::SetUlIqWidth &&
+             ru_model->set_ul_iq_width(a.value);
+    };
+  }
+  return c.add_link(std::move(spec));
+}
+
+std::string Deployment::ctrl_dump() const {
+  std::string out;
+  for (const auto& c : controllers) out += c->dump();
+  return out;
+}
+
 UeId Deployment::add_ue(const Position& pos, DuHandle* du, double dl_mbps,
                         double ul_mbps, int pci_lock, int max_layers) {
   UeConfig cfg;

@@ -10,6 +10,7 @@
 
 #include "core/chain.h"
 #include "core/middlebox.h"
+#include "ctrl/controller.h"
 #include "net/fault.h"
 #include "mb/das.h"
 #include "mb/dmimo.h"
@@ -97,6 +98,24 @@ class Deployment {
   /// snapshots and chaos-test fingerprints.
   std::string fault_dump() const;
 
+  /// Closed-loop adaptation controller, ticked at the engine's
+  /// begin-of-slot barrier (after the fault hooks registered so far, so
+  /// it samples a fully settled previous slot). Supervised links are
+  /// added with ctrl_watch().
+  ctrl::AdaptationController& add_controller(ctrl::CtrlConfig cfg = {});
+
+  /// Supervise one RU fronthaul link: quality comes from `link`'s A->B
+  /// direction (add_fault with `near` = the RU's port makes that the
+  /// uplink), actuation targets `rt`'s middlebox (DAS membership or dMIMO
+  /// gate, chosen by the app's type) plus the RU's uplink BFP width.
+  /// Returns the controller's link index.
+  int ctrl_watch(ctrl::AdaptationController& c, FaultyLink& link,
+                 MiddleboxRuntime& rt, RuHandle& ru);
+
+  /// Fixed-order dump of every controller's state, for determinism
+  /// snapshots (ISSUE 6: controller state is part of the fingerprint).
+  std::string ctrl_dump() const;
+
   /// UE with optional offered traffic through a DU.
   UeId add_ue(const Position& pos, DuHandle* du = nullptr,
               double dl_mbps = 0, double ul_mbps = 0, int pci_lock = -1,
@@ -128,6 +147,7 @@ class Deployment {
   std::vector<std::unique_ptr<MiddleboxApp>> apps;
   std::vector<std::unique_ptr<MiddleboxRuntime>> runtimes;
   std::vector<std::unique_ptr<FaultyLink>> faults;
+  std::vector<std::unique_ptr<ctrl::AdaptationController>> controllers;
 
   Port& new_port(const std::string& name);
   EmbeddedSwitch& new_switch(const std::string& name);

@@ -60,6 +60,13 @@ TEST(E2eFailover, DuCrashTriggersSwitchoverAndRecovery) {
   EXPECT_EQ(rig.mb->active_port(), FailoverMiddlebox::kStandby)
       << "heartbeat loss should switch within a few slots";
   EXPECT_EQ(rig.mb->failovers(), 1);
+  // Hysteresis state is published as gauges (scraped via mgmt "prom").
+  const auto& tel = rig.d.runtimes[0]->telemetry();
+  EXPECT_EQ(tel.gauge("failover_active"),
+            double(FailoverMiddlebox::kStandby));
+  EXPECT_GE(tel.gauge("failover_last_switch_slot"), 0.0);
+  EXPECT_EQ(tel.gauge("failover_primary_fresh_streak"), 0.0)
+      << "a dead primary must not accumulate a fresh streak";
 
   // Same PCI: the UE never notices the switch; traffic just continues
   // through the standby's scheduler.

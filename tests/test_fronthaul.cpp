@@ -426,6 +426,87 @@ TEST(Frame, ByteFlipFuzzAlwaysTypesRejections) {
   EXPECT_GT(rejected, 0);  // flips in length/type fields do get caught
 }
 
+TEST(Frame, MixedWidthSectionsRoundTripPerPacketCompHdr) {
+  // ISSUE 6 satellite: a frame can carry sections at different BFP widths
+  // (one link running controller-degraded width 7 next to a nominal-width
+  // section). Each section's udCompHdr and payload sizing must follow its
+  // own override, and the parser must recover both widths per section.
+  FhContext ctx = ctx273();
+  ASSERT_EQ(ctx.comp.iq_width, 9);
+  CompConfig narrow;
+  narrow.iq_width = 7;
+  auto pay9 = compressed_payload(40, ctx.comp, 6);
+  auto pay7 = compressed_payload(40, narrow, 7);
+  ASSERT_LT(pay7.size(), pay9.size());
+
+  UPlaneMsg hdr;
+  hdr.direction = Direction::Uplink;
+  hdr.at = {3, 1, 0, 4};
+  std::vector<USectionData> secs(2);
+  secs[0].section_id = 1;
+  secs[0].start_prb = 0;
+  secs[0].num_prb = 40;
+  secs[0].payload = pay9;  // comp unset: context default (width 9)
+  secs[1].section_id = 2;
+  secs[1].start_prb = 40;
+  secs[1].num_prb = 40;
+  secs[1].payload = pay7;
+  secs[1].comp = narrow;  // per-packet override (width 7)
+
+  std::vector<std::uint8_t> buf(9216);
+  std::vector<USection> placed;
+  const std::size_t len = build_uplane_frame(buf, EthHeader{}, EaxcId{}, 0,
+                                             hdr, secs, ctx, &placed);
+  ASSERT_GT(len, 0u);
+  buf.resize(len);
+  ASSERT_EQ(placed.size(), 2u);
+  EXPECT_EQ(placed[0].comp.iq_width, 9);
+  EXPECT_EQ(placed[1].comp.iq_width, 7);
+
+  auto frame = parse_frame(buf, ctx);
+  ASSERT_TRUE(frame.has_value());
+  const auto& u = frame->uplane();
+  ASSERT_EQ(u.sections.size(), 2u);
+  EXPECT_EQ(u.sections[0].comp.iq_width, 9);
+  EXPECT_EQ(u.sections[1].comp.iq_width, 7);
+  EXPECT_EQ(u.sections[0].payload_len, 40 * ctx.comp.prb_bytes());
+  EXPECT_EQ(u.sections[1].payload_len, 40 * narrow.prb_bytes());
+  auto view7 = std::span<const std::uint8_t>(buf).subspan(
+      u.sections[1].payload_offset, u.sections[1].payload_len);
+  EXPECT_TRUE(std::equal(view7.begin(), view7.end(), pay7.begin()));
+}
+
+TEST(Frame, MtuSplitHonorsPerSectionWidth) {
+  // Fragmentation budgets must use each section's own width: a width-16
+  // whole-carrier section overflows a jumbo frame and splits, while the
+  // same PRB count at width 7 fits in one fragment.
+  FhContext ctx = ctx273();
+  CompConfig wide;
+  wide.iq_width = 16;
+  auto pay_wide = compressed_payload(273, wide, 8);
+  USectionData sec;
+  sec.num_prb = 273;
+  sec.payload = pay_wide;
+  sec.comp = wide;
+  const auto frags = split_sections_for_mtu(std::span(&sec, 1), ctx);
+  EXPECT_GT(frags.size(), 1u);
+  std::size_t total_prbs = 0;
+  for (const auto& f : frags)
+    for (const auto& s : f) {
+      EXPECT_TRUE(s.comp.has_value());
+      EXPECT_EQ(s.comp->iq_width, 16);
+      total_prbs += std::size_t(s.num_prb);
+    }
+  EXPECT_EQ(total_prbs, 273u);
+
+  CompConfig narrow;
+  narrow.iq_width = 7;
+  auto pay_narrow = compressed_payload(273, narrow, 9);
+  sec.payload = pay_narrow;
+  sec.comp = narrow;
+  EXPECT_EQ(split_sections_for_mtu(std::span(&sec, 1), ctx).size(), 1u);
+}
+
 TEST(Frame, ByteFlipFuzzDoesNotCrash) {
   FhContext ctx = ctx273();
   auto payload = compressed_payload(10, ctx.comp, 5);
