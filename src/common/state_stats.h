@@ -1,0 +1,79 @@
+// Process-wide hitless-operations stats: checkpoint/restore counts and
+// live-reconfiguration counts, sizes and wall-clock watermarks.
+//
+// Lives in common/ (header-only, atomics) for the same layering reason as
+// iq_stats.h and ctrl_stats.h: the sim/state layers write, while rb_obs
+// (which links only rb_common) renders the values as Prometheus series.
+// Wall-clock apply latency is observability-only — reconfigurations are
+// applied at the virtual-time slot barrier, so wall time never influences
+// what a run computes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace rb::statestats {
+
+/// Checkpoints taken (Deployment::checkpoint calls).
+inline std::atomic<std::uint64_t>& checkpoints_total() {
+  static std::atomic<std::uint64_t> v{0};
+  return v;
+}
+
+/// Successful restores.
+inline std::atomic<std::uint64_t>& restores_total() {
+  static std::atomic<std::uint64_t> v{0};
+  return v;
+}
+
+/// Restores rejected with a typed StateError.
+inline std::atomic<std::uint64_t>& restore_errors_total() {
+  static std::atomic<std::uint64_t> v{0};
+  return v;
+}
+
+/// Byte size of the most recent checkpoint blob.
+inline std::atomic<std::uint64_t>& checkpoint_bytes_last() {
+  static std::atomic<std::uint64_t> v{0};
+  return v;
+}
+
+/// Live reconfigurations applied at the slot barrier.
+inline std::atomic<std::uint64_t>& reconfigs_total() {
+  static std::atomic<std::uint64_t> v{0};
+  return v;
+}
+
+/// Individual reconfig operations applied (a reconfig batches >= 1 ops).
+inline std::atomic<std::uint64_t>& reconfig_ops_total() {
+  static std::atomic<std::uint64_t> v{0};
+  return v;
+}
+
+/// Reconfig operations rejected (bad target, would strand last member...).
+inline std::atomic<std::uint64_t>& reconfig_rejected_total() {
+  static std::atomic<std::uint64_t> v{0};
+  return v;
+}
+
+/// Wall-clock nanoseconds of the most recent barrier apply.
+inline std::atomic<std::uint64_t>& reconfig_wall_ns_last() {
+  static std::atomic<std::uint64_t> v{0};
+  return v;
+}
+
+/// Wall-clock high-water mark across all barrier applies.
+inline std::atomic<std::uint64_t>& reconfig_wall_ns_hwm() {
+  static std::atomic<std::uint64_t> v{0};
+  return v;
+}
+
+inline void note_reconfig_wall_ns(std::uint64_t ns) {
+  reconfig_wall_ns_last().store(ns, std::memory_order_relaxed);
+  std::uint64_t prev = reconfig_wall_ns_hwm().load(std::memory_order_relaxed);
+  while (ns > prev && !reconfig_wall_ns_hwm().compare_exchange_weak(
+                          prev, ns, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace rb::statestats

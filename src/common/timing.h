@@ -77,6 +77,12 @@ class SlotClock {
     return total_symbols_ % kSymbolsPerSlot == 0;
   }
 
+  /// Jump to an absolute virtual time (checkpoint restore). Negative
+  /// values are clamped to 0.
+  void set_total_symbols(std::int64_t symbols) {
+    total_symbols_ = symbols < 0 ? 0 : symbols;
+  }
+
  private:
   Scs scs_;
   std::int64_t total_symbols_ = 0;

@@ -1,6 +1,62 @@
-// cache.h is header-only.
 #include "core/cache.h"
 
+#include <unordered_set>
+
+#include "net/port.h"
+
 namespace rb {
-// Intentionally empty.
+
+void PacketCache::save_state(state::StateWriter& w) const {
+  w.u64(evictions_);
+  // The order deque verbatim (stale keys included): eviction order after
+  // restore must match the uninterrupted run exactly.
+  w.u32(std::uint32_t(order_.size()));
+  for (std::uint64_t k : order_) w.u64(k);
+  // Live entries, grouped by key in first-appearance-in-order_ order so
+  // the blob is deterministic regardless of hash-map iteration order
+  // (every live key appears in order_: put() pushes it, and only
+  // evict_oldest_key removes both together).
+  w.u32(std::uint32_t(map_.size()));
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t k : order_) {
+    if (!seen.insert(k).second) continue;
+    auto it = map_.find(k);
+    if (it == map_.end()) continue;
+    w.u64(k);
+    w.u32(std::uint32_t(it->second.size()));
+    for (const CachedPacket& e : it->second) {
+      w.i32(e.in_port);
+      save_packet(w, *e.pkt);
+    }
+  }
+}
+
+void PacketCache::load_state(state::StateReader& r, PacketPool& pool,
+                             const ReparseFn& reparse) {
+  clear();
+  evictions_ = r.u64();
+  order_.clear();
+  for (std::uint32_t i = 0, n = r.count(8); i < n && r.ok(); ++i)
+    order_.push_back(r.u64());
+  std::uint32_t n_keys = r.count(12);
+  for (std::uint32_t i = 0; i < n_keys && r.ok(); ++i) {
+    std::uint64_t k = r.u64();
+    std::uint32_t n_entries = r.count(18);
+    auto& v = map_[k];
+    v.reserve(n_entries);
+    for (std::uint32_t j = 0; j < n_entries && r.ok(); ++j) {
+      CachedPacket e;
+      e.in_port = r.i32();
+      e.pkt = load_packet(r, pool);
+      if (!e.pkt) return;
+      if (!reparse || !reparse(*e.pkt, e.in_port, e.frame)) {
+        r.fail(state::StateError::kBadValue);
+        return;
+      }
+      v.push_back(std::move(e));
+      ++size_;
+    }
+  }
+}
+
 }  // namespace rb

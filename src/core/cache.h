@@ -9,11 +9,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "fronthaul/frame.h"
 #include "net/packet.h"
+#include "state/serialize.h"
 
 namespace rb {
 
@@ -112,6 +114,18 @@ class PacketCache {
   void set_max_entries(std::size_t n) { max_entries_ = n; }
   std::size_t max_entries() const { return max_entries_; }
   std::uint64_t evictions() const { return evictions_; }
+
+  /// Re-derive the parsed view of a restored cache entry from its packet
+  /// bytes and ingress port. Returns false if the bytes do not parse.
+  using ReparseFn = std::function<bool(Packet& pkt, int in_port, FhFrame&)>;
+
+  /// Checkpoint every cached entry plus the eviction bookkeeping (the
+  /// insertion-order deque, stale keys included, so the restored cache
+  /// evicts in exactly the original order). Packet bytes are serialized
+  /// verbatim; parsed views are re-derived on load via `reparse`.
+  void save_state(state::StateWriter& w) const;
+  void load_state(state::StateReader& r, PacketPool& pool,
+                  const ReparseFn& reparse);
 
  private:
   void evict_oldest_key() {

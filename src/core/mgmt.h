@@ -22,19 +22,36 @@ class CtrlMgmtHandler {
   virtual std::string ctrl_mgmt(const std::string& cmd) = 0;
 };
 
+/// Same pattern for the live-reconfiguration manager (src/sim, two
+/// layers above core): the "reconfig" mgmt verb delegates through this.
+class ReconfigMgmtHandler {
+ public:
+  virtual ~ReconfigMgmtHandler() = default;
+  /// Handle a "reconfig <subcommand>" line (the verb already stripped).
+  virtual std::string reconfig_mgmt(const std::string& cmd) = 0;
+};
+
 class MgmtEndpoint {
  public:
   explicit MgmtEndpoint(MiddleboxRuntime& rt) : rt_(&rt) {}
 
   /// Attach the deployment's adaptation controller (enables "ctrl ...").
   void set_ctrl(CtrlMgmtHandler* ctrl) { ctrl_ = ctrl; }
+  /// Attach the deployment's reconfig manager (enables "reconfig ...").
+  void set_reconfig(ReconfigMgmtHandler* rc) { reconfig_ = rc; }
 
-  /// Handle one command line; returns the response text.
+  /// Handle one command line; returns the response text. Unknown verbs
+  /// are forwarded to the app; if the app does not claim them either,
+  /// the reply lists every registered verb (see also "help").
   std::string handle(const std::string& cmd);
+
+  /// Space-separated list of the registered core verbs.
+  static std::string verb_list();
 
  private:
   MiddleboxRuntime* rt_;
   CtrlMgmtHandler* ctrl_ = nullptr;
+  ReconfigMgmtHandler* reconfig_ = nullptr;
 };
 
 }  // namespace rb

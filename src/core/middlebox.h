@@ -194,6 +194,13 @@ class MiddleboxApp {
     (void)slot;
     (void)ctx;
   }
+  /// Checkpoint hook: write every field a restored instance needs to
+  /// resume bit-identically into the runtime's open state section.
+  /// Stateless apps keep the no-op default. load_state must read exactly
+  /// what save_state wrote (the section framing tolerates a shorter read,
+  /// but a restored run then diverges).
+  virtual void save_state(state::StateWriter& w) const { (void)w; }
+  virtual void load_state(state::StateReader& r) { (void)r; }
 };
 
 /// Runtime: ports, drivers, parse loop, accounting. Implements Pumpable so
@@ -251,6 +258,14 @@ class MiddleboxRuntime final : public Pumpable {
   using CostSampler = std::function<void(const FhFrame*, double cost_ns)>;
   void set_cost_sampler(CostSampler s) { cost_sampler_ = std::move(s); }
 
+  /// Checkpoint the runtime's mutable state — telemetry, cached packets
+  /// (re-parsed on load via the per-port fronthaul context), latency
+  /// watermarks — then the app's own state via its save_state hook, all
+  /// into the caller's open section. Call only at the slot barrier:
+  /// worker availability and deferred TX are empty there by construction.
+  void save_state(state::StateWriter& w) const;
+  void load_state(state::StateReader& r);
+
  private:
   friend class MbContext;
   void process_packet(int in_port, PacketPtr p, std::int64_t slot,
@@ -271,6 +286,9 @@ class MiddleboxRuntime final : public Pumpable {
         uplane_rx, non_fh_rx, cache_evicted, cache_stale;
     /// Per-reason parse rejects ("parse_reject_<reason>").
     std::array<Telemetry::CounterId, kParseErrorCount> parse_reject{};
+    /// Cache-pressure gauges, refreshed at every slot barrier (exported
+    /// as rb_cache_entries / rb_cache_evictions by the prom mgmt verb).
+    Telemetry::GaugeId cache_entries, cache_evictions;
   };
 
   Config cfg_;

@@ -197,6 +197,8 @@ MiddleboxRuntime::MiddleboxRuntime(Config cfg, MiddleboxApp& app)
   for (std::size_t i = 0; i < kParseErrorCount; ++i)
     hot_.parse_reject[i] = telemetry_.intern(
         std::string("parse_reject_") + parse_error_name(ParseError(i)));
+  hot_.cache_entries = telemetry_.intern_gauge("cache_entries");
+  hot_.cache_evictions = telemetry_.intern_gauge("cache_evictions");
   cache_.set_max_entries(cfg_.cache_max_entries);
   obs_track_ = obs::Collector::instance().intern_track("mb." + cfg_.name);
 }
@@ -232,6 +234,11 @@ void MiddleboxRuntime::begin_slot(std::int64_t slot) {
                    cache_.evictions() - cache_evictions_seen_);
     cache_evictions_seen_ = cache_.evictions();
   }
+  // Cache pressure at the barrier, before the slot-boundary clear: entry
+  // occupancy shows combine partners that never arrived, evictions the
+  // cumulative cap pressure (rb_cache_entries / rb_cache_evictions).
+  telemetry_.set_gauge(hot_.cache_entries, double(cache_.size()));
+  telemetry_.set_gauge(hot_.cache_evictions, double(cache_.evictions()));
   cache_.clear();
   last_slot_max_latency_ns_ = slot_max_latency_ns_;
   slot_max_latency_ns_ = 0;
@@ -377,6 +384,35 @@ double MiddleboxRuntime::cpu_utilization(std::int64_t now_ns) const {
 void MiddleboxRuntime::reset_cpu(std::int64_t now_ns) {
   cpu_window_start_ns_ = now_ns;
   for (auto& d : drivers_) d->meter().reset();
+}
+
+void MiddleboxRuntime::save_state(state::StateWriter& w) const {
+  telemetry_.save_state(w);
+  cache_.save_state(w);
+  w.i64(slot_max_latency_ns_);
+  w.i64(last_slot_max_latency_ns_);
+  w.i64(current_slot_start_ns_);
+  w.i64(cpu_window_start_ns_);
+  w.u64(cache_evictions_seen_);
+  app_->save_state(w);
+}
+
+void MiddleboxRuntime::load_state(state::StateReader& r) {
+  telemetry_.load_state(r);
+  cache_.load_state(r, pool_, [this](Packet& p, int in_port, FhFrame& f) {
+    if (in_port < 0 || in_port >= int(port_fh_.size())) return false;
+    ParseError perr = ParseError::None;
+    auto frame = parse_frame(p.data(), port_fh_[std::size_t(in_port)], &perr);
+    if (!frame) return false;
+    f = *frame;
+    return true;
+  });
+  slot_max_latency_ns_ = r.i64();
+  last_slot_max_latency_ns_ = r.i64();
+  current_slot_start_ns_ = r.i64();
+  cpu_window_start_ns_ = r.i64();
+  cache_evictions_seen_ = r.u64();
+  app_->load_state(r);
 }
 
 }  // namespace rb

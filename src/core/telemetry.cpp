@@ -11,4 +11,30 @@ std::string Telemetry::dump() const {
   return os.str();
 }
 
+void Telemetry::save_state(state::StateWriter& w) const {
+  w.u32(std::uint32_t(names_.size()));
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    w.str(names_[i]);
+    w.u64(values_[i]);
+  }
+  w.u32(std::uint32_t(gauge_names_.size()));
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    w.str(gauge_names_[i]);
+    w.f64(gauge_values_[i]);
+  }
+}
+
+void Telemetry::load_state(state::StateReader& r) {
+  for (std::uint32_t i = 0, n = r.count(12); i < n && r.ok(); ++i) {
+    const std::string name = r.str();
+    const std::uint64_t v = r.u64();
+    values_[std::size_t(intern(name))] = v;
+  }
+  for (std::uint32_t i = 0, n = r.count(12); i < n && r.ok(); ++i) {
+    const std::string name = r.str();
+    const double v = r.f64();
+    gauge_values_[std::size_t(intern_gauge(name))] = v;
+  }
+}
+
 }  // namespace rb

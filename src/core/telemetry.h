@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/thread_flags.h"
+#include "state/serialize.h"
 
 namespace rb {
 
@@ -140,6 +141,13 @@ class Telemetry {
 
   /// Render all counters/gauges as "key=value" lines (management dump).
   std::string dump() const;
+
+  /// Checkpoint every counter/gauge as (name, value) pairs in intern
+  /// order — deterministic because interning order is code-path driven.
+  /// load_state() re-interns by name, so handles held by callers stay
+  /// valid and names unknown to the blob keep their zero defaults.
+  void save_state(state::StateWriter& w) const;
+  void load_state(state::StateReader& r);
 
  private:
   std::unordered_map<std::string, CounterId> index_;

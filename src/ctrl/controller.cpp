@@ -286,4 +286,108 @@ std::string AdaptationController::ctrl_mgmt(const std::string& cmd) {
   return "unknown ctrl subcommand (status|links|auto|force)";
 }
 
+
+void AdaptationController::save_state(state::StateWriter& w) const {
+  w.u32(std::uint32_t(links_.size()));
+  for (const LinkState& ls : links_) {
+    const FaultStats& f = ls.seen;
+    w.u64(f.iid_loss);
+    w.u64(f.burst_loss);
+    w.u64(f.flap_loss);
+    w.u64(f.delayed);
+    w.u64(f.delay_ns_total);
+    w.u64(f.duplicated);
+    w.u64(f.reordered);
+    w.u64(f.corrupted);
+    w.u64(f.held_released);
+    w.u64(f.passed);
+    w.u64(ls.seen_rejects);
+    w.f64(ls.loss_ewma);
+    w.f64(ls.delay_ewma_ns);
+    w.f64(ls.reject_ewma);
+    w.i32(ls.breach_streak);
+    w.i32(ls.healthy_streak);
+    w.i64(ls.last_action_slot);
+    w.u8(std::uint8_t(ls.mode));
+    w.b(ls.width_reduced);
+    w.u64(ls.actions);
+  }
+  w.u32(std::uint32_t(log_.size()));
+  for (const CtrlAction& a : log_) {
+    w.u8(std::uint8_t(a.verb));
+    w.i32(a.link);
+    w.i32(a.value);
+    w.b(a.enable);
+    w.i64(a.slot);
+  }
+  w.u64(actions_applied_);
+  w.u64(decision_slots_);
+  w.b(auto_enabled_);
+}
+
+void AdaptationController::load_state(state::StateReader& r) {
+  if (r.count(138) != links_.size()) {
+    r.fail(state::StateError::kMismatch);
+    return;
+  }
+  for (LinkState& ls : links_) {
+    FaultStats& f = ls.seen;
+    f.iid_loss = r.u64();
+    f.burst_loss = r.u64();
+    f.flap_loss = r.u64();
+    f.delayed = r.u64();
+    f.delay_ns_total = r.u64();
+    f.duplicated = r.u64();
+    f.reordered = r.u64();
+    f.corrupted = r.u64();
+    f.held_released = r.u64();
+    f.passed = r.u64();
+    ls.seen_rejects = r.u64();
+    ls.loss_ewma = r.f64();
+    ls.delay_ewma_ns = r.f64();
+    ls.reject_ewma = r.f64();
+    ls.breach_streak = r.i32();
+    ls.healthy_streak = r.i32();
+    ls.last_action_slot = r.i64();
+    std::uint8_t mode = r.u8();
+    if (mode > std::uint8_t(LinkMode::Ejected)) {
+      r.fail(state::StateError::kBadValue);
+      return;
+    }
+    ls.mode = LinkMode(mode);
+    ls.width_reduced = r.b();
+    ls.actions = r.u64();
+  }
+  log_.clear();
+  std::uint32_t n_log = r.count(18);
+  if (n_log > kLogCap) {
+    r.fail(state::StateError::kBadValue);
+    return;
+  }
+  for (std::uint32_t i = 0; i < n_log && r.ok(); ++i) {
+    CtrlAction a;
+    std::uint8_t verb = r.u8();
+    if (verb > std::uint8_t(CtrlVerb::SetDmimoGate)) {
+      r.fail(state::StateError::kBadValue);
+      return;
+    }
+    a.verb = CtrlVerb(verb);
+    a.link = r.i32();
+    a.value = r.i32();
+    a.enable = r.b();
+    a.slot = r.i64();
+    log_.push_back(a);
+  }
+  actions_applied_ = r.u64();
+  decision_slots_ = r.u64();
+  auto_enabled_ = r.b();
+}
+
+void AdaptationController::retune(const CtrlConfig& cfg) {
+  CtrlConfig next = cfg;
+  next.name = cfg_.name;  // structural identity is not retunable
+  next.scs = cfg_.scs;
+  cfg_ = next;
+}
+
 }  // namespace rb::ctrl

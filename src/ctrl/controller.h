@@ -28,6 +28,7 @@
 #include "core/mgmt.h"
 #include "ctrl/actions.h"
 #include "net/fault.h"
+#include "state/serialize.h"
 
 namespace rb {
 class MiddleboxRuntime;
@@ -114,6 +115,17 @@ class AdaptationController final : public CtrlMgmtHandler {
   // CtrlMgmtHandler: "status" | "links" | "auto on|off" |
   // "force <link> eject|admit|width <w>".
   std::string ctrl_mgmt(const std::string& cmd) override;
+
+  /// Checkpoint EWMAs, hysteresis streaks, modes and the decision log.
+  /// Link topology (specs) is config: restore requires the same links in
+  /// the same order and fails with kMismatch otherwise.
+  void save_state(state::StateWriter& w) const;
+  void load_state(state::StateReader& r);
+
+  /// Live-retune of the policy thresholds (hitless reconfiguration). The
+  /// structural fields (name, scs) are kept; per-link state is untouched,
+  /// so streaks re-evaluate against the new thresholds next slot.
+  void retune(const CtrlConfig& cfg);
 
  private:
   struct LinkState {

@@ -307,4 +307,32 @@ std::string DasMiddlebox::on_mgmt(const std::string& cmd) {
   return "unknown command";
 }
 
+
+void DasMiddlebox::save_state(state::StateWriter& w) const {
+  w.u32(std::uint32_t(active_.size()));
+  for (bool a : active_) w.b(a);
+  w.u32(std::uint32_t(pending_.size()));
+  for (const Pending& p : pending_) {
+    w.u64(p.key);
+    w.i64(p.first_rx_ns);
+  }
+  w.u32(std::uint32_t(done_.size()));
+  for (std::uint64_t k : done_) w.u64(k);
+}
+
+void DasMiddlebox::load_state(state::StateReader& r) {
+  if (r.count(1) != active_.size()) {
+    r.fail(state::StateError::kMismatch);
+    return;
+  }
+  for (std::size_t i = 0; i < active_.size(); ++i) active_[i] = r.b();
+  pending_.assign(r.count(16), Pending{});
+  for (Pending& p : pending_) {
+    p.key = r.u64();
+    p.first_rx_ns = r.i64();
+  }
+  done_.assign(r.count(8), 0);
+  for (std::uint64_t& k : done_) k = r.u64();
+}
+
 }  // namespace rb

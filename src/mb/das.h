@@ -67,6 +67,11 @@ class DasMiddlebox final : public MiddleboxApp {
   bool member_active(const MacAddr& mac) const;
   std::size_t active_members() const;
 
+  /// Checkpoint combine-set membership and open/flushed combine groups
+  /// (packets of open groups live in the runtime's PacketCache).
+  void save_state(state::StateWriter& w) const override;
+  void load_state(state::StateReader& r) override;
+
  private:
   /// An uplink combine group awaiting more RU copies.
   struct Pending {

@@ -247,4 +247,23 @@ std::string DmimoMiddlebox::on_mgmt(const std::string& cmd) {
   return "unknown command";
 }
 
+
+void DmimoMiddlebox::save_state(state::StateWriter& w) const {
+  w.u32(std::uint32_t(last_ul_slot_.size()));
+  for (std::int64_t s : last_ul_slot_) w.i64(s);
+  for (bool d : ru_down_) w.b(d);
+  for (bool f : forced_down_) w.b(f);
+}
+
+void DmimoMiddlebox::load_state(state::StateReader& r) {
+  if (r.count(8) != last_ul_slot_.size()) {
+    r.fail(state::StateError::kMismatch);
+    return;
+  }
+  for (std::int64_t& s : last_ul_slot_) s = r.i64();
+  for (std::size_t i = 0; i < ru_down_.size(); ++i) ru_down_[i] = r.b();
+  for (std::size_t i = 0; i < forced_down_.size(); ++i)
+    forced_down_[i] = r.b();
+}
+
 }  // namespace rb

@@ -88,6 +88,10 @@ class DmimoMiddlebox final : public MiddleboxApp {
     return -1;
   }
 
+  /// Checkpoint quiet-partner probe state and participation gates.
+  void save_state(state::StateWriter& w) const override;
+  void load_state(state::StateReader& r) override;
+
  private:
   void downlink(PacketPtr p, FhFrame& frame, MbContext& ctx);
   void uplink(PacketPtr p, FhFrame& frame, MbContext& ctx);

@@ -142,4 +142,47 @@ std::string FailoverMiddlebox::on_mgmt(const std::string& cmd) {
   return "unknown command";
 }
 
+
+void FailoverMiddlebox::retune(int liveness_slots, bool failback,
+                               int min_dwell_slots,
+                               int failback_confirm_slots) {
+  cfg_.liveness_slots = liveness_slots < 1 ? 1 : liveness_slots;
+  cfg_.failback = failback;
+  cfg_.min_dwell_slots = min_dwell_slots < 0 ? 0 : min_dwell_slots;
+  cfg_.failback_confirm_slots =
+      failback_confirm_slots < 1 ? 1 : failback_confirm_slots;
+}
+
+bool FailoverMiddlebox::force_active(int port) {
+  if (port != kPrimary && port != kStandby) return false;
+  if (port == active_) return false;
+  active_ = port;
+  ++failovers_;
+  last_switch_slot_ = current_slot_;
+  return true;
+}
+
+void FailoverMiddlebox::save_state(state::StateWriter& w) const {
+  w.i32(active_);
+  for (std::int64_t s : last_seen_slot_) w.i64(s);
+  w.i64(failovers_);
+  w.i64(current_slot_);
+  w.i64(last_switch_slot_);
+  w.i64(primary_fresh_since_);
+}
+
+void FailoverMiddlebox::load_state(state::StateReader& r) {
+  int active = r.i32();
+  if (active < kPrimary || active > kStandby) {
+    r.fail(state::StateError::kBadValue);
+    return;
+  }
+  active_ = active;
+  for (std::int64_t& s : last_seen_slot_) s = r.i64();
+  failovers_ = r.i64();
+  current_slot_ = r.i64();
+  last_switch_slot_ = r.i64();
+  primary_fresh_since_ = r.i64();
+}
+
 }  // namespace rb

@@ -54,6 +54,23 @@ class FailoverMiddlebox final : public MiddleboxApp {
   int active_port() const { return active_; }
   std::int64_t failovers() const { return failovers_; }
 
+  /// Checkpoint heartbeat watermarks and switchover hysteresis state.
+  void save_state(state::StateWriter& w) const override;
+  void load_state(state::StateReader& r) override;
+
+  /// Live reconfiguration (applied at the slot barrier by the reconfig
+  /// manager): retune the hysteresis policy. MACs and wiring are
+  /// structural and kept.
+  void retune(int liveness_slots, bool failback, int min_dwell_slots,
+              int failback_confirm_slots);
+  /// Operator-initiated target swap: steer traffic to the given DU port
+  /// (kPrimary or kStandby) now. Starts the dwell timer so the automatic
+  /// loop does not immediately bounce back. Returns false for an invalid
+  /// port or a no-op swap.
+  bool force_active(int port);
+
+  const FailoverConfig& config() const { return cfg_; }
+
  private:
   FailoverConfig cfg_;
   int active_ = kPrimary;

@@ -87,4 +87,45 @@ std::string PrbMonitorMiddlebox::on_mgmt(const std::string& cmd) {
   return "unknown command";
 }
 
+
+namespace {
+
+void save_estimate(state::StateWriter& w, const PrbUtilEstimate& e) {
+  w.i64(e.slot);
+  w.f64(e.dl_util);
+  w.f64(e.ul_util);
+  w.i32(e.dl_symbols);
+  w.i32(e.ul_symbols);
+}
+
+void load_estimate(state::StateReader& r, PrbUtilEstimate& e) {
+  e.slot = r.i64();
+  e.dl_util = r.f64();
+  e.ul_util = r.f64();
+  e.dl_symbols = r.i32();
+  e.ul_symbols = r.i32();
+}
+
+}  // namespace
+
+void PrbMonitorMiddlebox::save_state(state::StateWriter& w) const {
+  save_estimate(w, current_);
+  w.f64(dl_prb_acc_);
+  w.f64(ul_prb_acc_);
+  w.u32(std::uint32_t(estimates_.size()));
+  for (const PrbUtilEstimate& e : estimates_) save_estimate(w, e);
+}
+
+void PrbMonitorMiddlebox::load_state(state::StateReader& r) {
+  load_estimate(r, current_);
+  dl_prb_acc_ = r.f64();
+  ul_prb_acc_ = r.f64();
+  estimates_.clear();
+  for (std::uint32_t i = 0, n = r.count(32); i < n && r.ok(); ++i) {
+    PrbUtilEstimate e;
+    load_estimate(r, e);
+    estimates_.push_back(e);
+  }
+}
+
 }  // namespace rb

@@ -51,6 +51,10 @@ class PrbMonitorMiddlebox final : public MiddleboxApp {
   const std::deque<PrbUtilEstimate>& estimates() const { return estimates_; }
   void clear_estimates() { estimates_.clear(); }
 
+  /// Checkpoint the in-progress slot accumulators and estimate window.
+  void save_state(state::StateWriter& w) const override;
+  void load_state(state::StateReader& r) override;
+
  private:
   PrbMonConfig cfg_;
   PrbUtilEstimate current_{};

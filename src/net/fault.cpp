@@ -187,4 +187,44 @@ std::string FaultyLink::dump() const {
   return out;
 }
 
+void FaultyLink::save_state(state::StateWriter& w) const {
+  for (const Dir* d : {&ab_, &ba_}) {
+    w.u64(d->rng.state());
+    w.u64(d->stats.iid_loss);
+    w.u64(d->stats.burst_loss);
+    w.u64(d->stats.flap_loss);
+    w.u64(d->stats.delayed);
+    w.u64(d->stats.delay_ns_total);
+    w.u64(d->stats.duplicated);
+    w.u64(d->stats.reordered);
+    w.u64(d->stats.corrupted);
+    w.u64(d->stats.held_released);
+    w.u64(d->stats.passed);
+    w.b(d->ge_bad);
+    w.b(d->down);
+    w.b(d->held != nullptr);
+    if (d->held) save_packet(w, *d->held);
+  }
+}
+
+void FaultyLink::load_state(state::StateReader& r) {
+  for (Dir* d : {&ab_, &ba_}) {
+    d->rng.set_state(r.u64());
+    d->stats.iid_loss = r.u64();
+    d->stats.burst_loss = r.u64();
+    d->stats.flap_loss = r.u64();
+    d->stats.delayed = r.u64();
+    d->stats.delay_ns_total = r.u64();
+    d->stats.duplicated = r.u64();
+    d->stats.reordered = r.u64();
+    d->stats.corrupted = r.u64();
+    d->stats.held_released = r.u64();
+    d->stats.passed = r.u64();
+    d->ge_bad = r.b();
+    d->down = r.b();
+    d->held.reset();
+    if (r.b()) d->held = load_packet(r, PacketPool::default_pool());
+  }
+}
+
 }  // namespace rb

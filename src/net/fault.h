@@ -103,6 +103,11 @@ class FaultRng {
   /// Uniform integer in [0, n).
   std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
 
+  /// Raw generator state, for checkpoint/restore. set_state() with a
+  /// value from state() resumes the stream exactly where it left off.
+  std::uint64_t state() const { return s_; }
+  void set_state(std::uint64_t s) { s_ = s ? s : 1; }
+
  private:
   std::uint64_t s_;
 };
@@ -141,6 +146,13 @@ class FaultyLink {
   /// Render both directions' counters as "<name>.<dir>.<field>=v" lines,
   /// in a fixed order (chaos tests compare these byte-for-byte).
   std::string dump() const;
+
+  /// Checkpoint both directions' mutable state: PRNG stream position,
+  /// cumulative stats, Gilbert-Elliott / flap state and any reorder-held
+  /// packet. Plans are config (rebuilt by the deployment builder), not
+  /// state. Writes into the caller's open section.
+  void save_state(state::StateWriter& w) const;
+  void load_state(state::StateReader& r);
 
  private:
   struct Dir final : FaultHook {

@@ -71,4 +71,58 @@ std::size_t Port::rx_burst(std::vector<PacketPtr>& out, std::size_t max) {
   return n;
 }
 
+void save_packet(state::StateWriter& w, const Packet& p) {
+  w.i64(p.rx_time_ns);
+  w.u16(p.ingress_port);
+  w.u32(std::uint32_t(p.len()));
+  w.bytes(p.data());
+}
+
+PacketPtr load_packet(state::StateReader& r, PacketPool& pool) {
+  std::int64_t rx_time_ns = r.i64();
+  std::uint16_t ingress = r.u16();
+  std::uint32_t len = r.u32();
+  if (!r.ok()) return nullptr;
+  if (len > kPacketCapacity || len > r.section_remaining()) {
+    r.fail(state::StateError::kBadValue);
+    return nullptr;
+  }
+  PacketPtr p = pool.alloc();
+  if (!p) {
+    r.fail(state::StateError::kMismatch);  // pool smaller than checkpoint
+    return nullptr;
+  }
+  r.bytes(p->raw().subspan(0, len));
+  p->set_len(len);
+  p->rx_time_ns = rx_time_ns;
+  p->ingress_port = ingress;
+  return p;
+}
+
+void Port::save_state(state::StateWriter& w) const {
+  w.u64(stats_.tx_packets);
+  w.u64(stats_.tx_bytes);
+  w.u64(stats_.rx_packets);
+  w.u64(stats_.rx_bytes);
+  w.u64(stats_.rx_dropped);
+  w.b(link_up_);
+  w.u32(std::uint32_t(rx_queue_.size()));
+  for (const PacketPtr& p : rx_queue_) save_packet(w, *p);
+}
+
+void Port::load_state(state::StateReader& r, PacketPool& pool) {
+  stats_.tx_packets = r.u64();
+  stats_.tx_bytes = r.u64();
+  stats_.rx_packets = r.u64();
+  stats_.rx_bytes = r.u64();
+  stats_.rx_dropped = r.u64();
+  link_up_ = r.b();
+  std::uint32_t n = r.u32();
+  rx_queue_.clear();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    PacketPtr p = load_packet(r, pool);
+    if (p) rx_queue_.push_back(std::move(p));
+  }
+}
+
 }  // namespace rb

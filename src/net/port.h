@@ -12,8 +12,17 @@
 #include <string>
 
 #include "net/packet.h"
+#include "state/serialize.h"
 
 namespace rb {
+
+/// Serialize one packet (payload + virtual-time metadata) into an open
+/// state section. Symmetric with load_packet().
+void save_packet(state::StateWriter& w, const Packet& p);
+/// Rebuild a packet from a state section, allocating from `pool`.
+/// Returns nullptr (and latches an error on `r`) on malformed input or
+/// pool exhaustion.
+PacketPtr load_packet(state::StateReader& r, PacketPool& pool);
 
 struct PortStats {
   std::uint64_t tx_packets = 0;
@@ -90,6 +99,15 @@ class Port {
   void set_tap(std::function<void(const Packet&)> tap) {
     tap_ = std::move(tap);
   }
+
+  /// Checkpoint the port's mutable state: counters, link administrative
+  /// state and any packets still waiting in the RX queue (delay/jitter
+  /// faults push arrivals across the slot barrier, so in-flight packets
+  /// are real state). Writes into the caller's open section.
+  void save_state(state::StateWriter& w) const;
+  /// Restore from save_state(). RX-queue packets are reallocated from
+  /// `pool`.
+  void load_state(state::StateReader& r, PacketPool& pool);
 
  private:
   void deliver(PacketPtr p);

@@ -1,5 +1,7 @@
 #include "net/switch.h"
 
+#include <algorithm>
+
 #include "net/packet.h"
 
 namespace rb {
@@ -49,6 +51,45 @@ void EmbeddedSwitch::on_rx(std::size_t in_port, PacketPtr p) {
     PacketPtr copy = pool.clone(*p);
     if (copy) ports_[i]->send(std::move(copy));
   }
+}
+
+
+void EmbeddedSwitch::save_state(state::StateWriter& w) const {
+  std::vector<std::pair<MacAddr, std::size_t>> fdb(fdb_.begin(), fdb_.end());
+  std::sort(fdb.begin(), fdb.end(), [](const auto& a, const auto& b) {
+    return a.first.bytes < b.first.bytes;
+  });
+  w.u32(std::uint32_t(fdb.size()));
+  for (const auto& [mac, port] : fdb) {
+    w.bytes(mac.bytes);
+    w.u32(std::uint32_t(port));
+  }
+  w.u64(flooded_);
+  w.u64(forwarded_);
+  w.u32(std::uint32_t(ports_.size()));
+  for (const auto& p : ports_) p->save_state(w);
+}
+
+void EmbeddedSwitch::load_state(state::StateReader& r) {
+  fdb_.clear();
+  for (std::uint32_t i = 0, n = r.count(10); i < n && r.ok(); ++i) {
+    MacAddr mac;
+    r.bytes(mac.bytes);
+    const std::uint32_t port = r.u32();
+    if (port >= ports_.size()) {
+      r.fail(state::StateError::kBadValue);
+      return;
+    }
+    fdb_[mac] = port;
+  }
+  flooded_ = r.u64();
+  forwarded_ = r.u64();
+  if (r.count(1) != ports_.size()) {
+    r.fail(state::StateError::kMismatch);
+    return;
+  }
+  for (const auto& p : ports_)
+    p->load_state(r, PacketPool::default_pool());
 }
 
 }  // namespace rb

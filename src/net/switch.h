@@ -13,6 +13,7 @@
 
 #include "common/mac_addr.h"
 #include "net/port.h"
+#include "state/serialize.h"
 
 namespace rb {
 
@@ -36,6 +37,13 @@ class EmbeddedSwitch {
   /// Per-hop forwarding latency added to packets (models switch + PCIe
   /// cost for the embedded NIC switch case).
   void set_hop_latency_ns(std::int64_t ns) { hop_latency_ns_ = ns; }
+
+  /// Checkpoint the learned FDB and forwarding counters (static entries
+  /// and port wiring are config). Learned entries are serialized sorted
+  /// by MAC so the blob is deterministic; without them a restored switch
+  /// would flood where the original forwarded.
+  void save_state(state::StateWriter& w) const;
+  void load_state(state::StateReader& r);
 
  private:
   void on_rx(std::size_t in_port, PacketPtr p);

@@ -8,6 +8,7 @@
 
 #include "common/ctrl_stats.h"
 #include "common/iq_stats.h"
+#include "common/state_stats.h"
 #include "obs/obs.h"
 
 namespace rb::obs {
@@ -158,6 +159,43 @@ std::string prometheus_text(const Collector& c) {
             ctrlstats::decision_ns_hwm().load(std::memory_order_relaxed));
     appendf(out, "rb_ctrl_decision_wall_ns{stat=\"sum\"} %" PRIu64 "\n",
             ctrlstats::decision_ns_sum().load(std::memory_order_relaxed));
+  }
+
+  // Hitless operations: checkpoint/restore and live-reconfiguration
+  // counters. Written by rb_sim via the common registry; wall-clock apply
+  // latency is observability-only (applies happen at the virtual-time
+  // slot barrier).
+  {
+    out += "# TYPE rb_reconfig_total counter\n";
+    appendf(out, "rb_reconfig_total %" PRIu64 "\n",
+            statestats::reconfigs_total().load(std::memory_order_relaxed));
+    out += "# TYPE rb_reconfig_ops_total counter\n";
+    appendf(out, "rb_reconfig_ops_total %" PRIu64 "\n",
+            statestats::reconfig_ops_total().load(std::memory_order_relaxed));
+    out += "# TYPE rb_reconfig_rejected_total counter\n";
+    appendf(
+        out, "rb_reconfig_rejected_total %" PRIu64 "\n",
+        statestats::reconfig_rejected_total().load(std::memory_order_relaxed));
+    out += "# TYPE rb_reconfig_wall_ns gauge\n";
+    appendf(
+        out, "rb_reconfig_wall_ns{stat=\"last\"} %" PRIu64 "\n",
+        statestats::reconfig_wall_ns_last().load(std::memory_order_relaxed));
+    appendf(out, "rb_reconfig_wall_ns{stat=\"max\"} %" PRIu64 "\n",
+            statestats::reconfig_wall_ns_hwm().load(std::memory_order_relaxed));
+    out += "# TYPE rb_state_checkpoints_total counter\n";
+    appendf(out, "rb_state_checkpoints_total %" PRIu64 "\n",
+            statestats::checkpoints_total().load(std::memory_order_relaxed));
+    out += "# TYPE rb_state_restores_total counter\n";
+    appendf(out, "rb_state_restores_total %" PRIu64 "\n",
+            statestats::restores_total().load(std::memory_order_relaxed));
+    out += "# TYPE rb_state_restore_errors_total counter\n";
+    appendf(
+        out, "rb_state_restore_errors_total %" PRIu64 "\n",
+        statestats::restore_errors_total().load(std::memory_order_relaxed));
+    out += "# TYPE rb_state_checkpoint_bytes gauge\n";
+    appendf(
+        out, "rb_state_checkpoint_bytes %" PRIu64 "\n",
+        statestats::checkpoint_bytes_last().load(std::memory_order_relaxed));
   }
 
   if (!c.budgets().empty()) {

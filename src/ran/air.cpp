@@ -531,4 +531,140 @@ void AirModel::reset_counters() {
   }
 }
 
+void AirModel::save_state(state::StateWriter& w) const {
+  w.u32(std::uint32_t(cells_.size()));
+  for (const Cell& c : cells_) {
+    w.i64(c.alloc_slot);
+    w.u32(std::uint32_t(c.dl_allocs.size()));
+    for (const DlAlloc& a : c.dl_allocs) {
+      w.i32(a.ue);
+      w.i32(a.start_prb);
+      w.i32(a.n_prb);
+      w.i32(a.layers);
+      w.f64(a.assumed_sinr_db);
+      w.i64(a.tbs_bits);
+    }
+    w.u32(std::uint32_t(c.ul_allocs.size()));
+    for (const UlAlloc& a : c.ul_allocs) {
+      w.i32(a.ue);
+      w.i32(a.start_prb);
+      w.i32(a.n_prb);
+      w.f64(a.assumed_sinr_db);
+      w.i64(a.tbs_bits);
+    }
+  }
+  w.u32(std::uint32_t(rus_.size()));
+  for (const Ru& r : rus_) {
+    w.i64(r.radiation_slot);
+    w.u32(std::uint32_t(r.radiation.ports.size()));
+    for (const auto& pr : r.radiation.ports) {
+      w.i32(pr.port);
+      for (const auto* iv : {&pr.data, &pr.ssb_sym}) {
+        w.u32(std::uint32_t(iv->size()));
+        for (const PrbInterval& p : *iv) {
+          w.i32(p.start);
+          w.i32(p.count);
+        }
+      }
+    }
+    w.i64(r.ul_amp_slot);
+    w.u32(std::uint32_t(r.ul_amp_cache.size()));
+    for (double v : r.ul_amp_cache) w.f64(v);
+  }
+  w.u32(std::uint32_t(ues_.size()));
+  for (const Ue& u : ues_) {
+    w.u8(std::uint8_t(u.state));
+    w.i32(u.serving);
+    w.i32(u.prach_target);
+    w.i32(u.ssb_misses);
+    w.i32(u.last_rank);
+    w.f64(u.last_sinr_db);
+    w.u64(u.dl_bits);
+    w.u64(u.ul_bits);
+    w.u64(u.dl_errors);
+    w.u64(u.ul_errors);
+    w.u64(u.dl_unradiated);
+  }
+  w.u32(std::uint32_t(prach_pending_.size()));
+  for (std::int64_t s : prach_pending_) w.i64(s);
+}
+
+void AirModel::load_state(state::StateReader& r) {
+  if (r.u32() != cells_.size()) {
+    r.fail(state::StateError::kMismatch);
+    return;
+  }
+  for (Cell& c : cells_) {
+    c.alloc_slot = r.i64();
+    c.dl_allocs.assign(r.count(36), DlAlloc{});
+    for (DlAlloc& a : c.dl_allocs) {
+      a.ue = r.i32();
+      a.start_prb = r.i32();
+      a.n_prb = r.i32();
+      a.layers = r.i32();
+      a.assumed_sinr_db = r.f64();
+      a.tbs_bits = r.i64();
+    }
+    c.ul_allocs.assign(r.count(32), UlAlloc{});
+    for (UlAlloc& a : c.ul_allocs) {
+      a.ue = r.i32();
+      a.start_prb = r.i32();
+      a.n_prb = r.i32();
+      a.assumed_sinr_db = r.f64();
+      a.tbs_bits = r.i64();
+    }
+    if (!r.ok()) return;
+  }
+  if (r.u32() != rus_.size()) {
+    r.fail(state::StateError::kMismatch);
+    return;
+  }
+  for (Ru& ru : rus_) {
+    ru.radiation_slot = r.i64();
+    ru.radiation.ports.assign(r.count(12), {});
+    for (auto& pr : ru.radiation.ports) {
+      pr.port = r.i32();
+      for (auto* iv : {&pr.data, &pr.ssb_sym}) {
+        iv->assign(r.count(8), PrbInterval{});
+        for (PrbInterval& p : *iv) {
+          p.start = r.i32();
+          p.count = r.i32();
+        }
+      }
+    }
+    ru.ul_amp_slot = r.i64();
+    ru.ul_amp_cache.assign(r.count(8), 0.0);
+    for (double& v : ru.ul_amp_cache) v = r.f64();
+    if (!r.ok()) return;
+  }
+  if (r.u32() != ues_.size()) {
+    r.fail(state::StateError::kMismatch);
+    return;
+  }
+  for (Ue& u : ues_) {
+    std::uint8_t st = r.u8();
+    if (st > std::uint8_t(UeAttachState::Attached)) {
+      r.fail(state::StateError::kBadValue);
+      return;
+    }
+    u.state = UeAttachState(st);
+    u.serving = r.i32();
+    u.prach_target = r.i32();
+    u.ssb_misses = r.i32();
+    u.last_rank = r.i32();
+    u.last_sinr_db = r.f64();
+    u.dl_bits = r.u64();
+    u.ul_bits = r.u64();
+    u.dl_errors = r.u64();
+    u.ul_errors = r.u64();
+    u.dl_unradiated = r.u64();
+  }
+  std::uint32_t n_pending = r.u32();
+  if (n_pending != prach_pending_.size()) {
+    // Size tracks cell count lazily; rebuild to the checkpointed shape.
+    prach_pending_.assign(n_pending, -1);
+  }
+  for (std::int64_t& s : prach_pending_) s = r.i64();
+}
+
 }  // namespace rb

@@ -23,6 +23,7 @@
 #include "ran/cell_config.h"
 #include "ran/channel.h"
 #include "ran/phy_rate.h"
+#include "state/serialize.h"
 
 namespace rb {
 
@@ -196,6 +197,14 @@ class AirModel {
     return ues_[std::size_t(ue)].ul_errors;
   }
   void reset_counters();
+
+  /// Checkpoint all mutable radio state: per-UE attach machine and bit
+  /// counters, per-cell published allocations, per-RU radiation/UL-amp
+  /// caches and pending PRACH completions. Topology (cells/RUs/UEs and
+  /// assignments) is config, rebuilt by the deployment builder.
+  void save_state(state::StateWriter& w) const;
+  void load_state(state::StateReader& r);
+
   bool is_attached(UeId ue) const {
     return ues_[std::size_t(ue)].serving >= 0;
   }

@@ -479,4 +479,73 @@ void DuModel::process_rx(std::int64_t slot, std::int64_t slot_start_ns) {
   }
 }
 
+namespace {
+
+/// Write an unordered integer-keyed map sorted by key (deterministic
+/// blobs regardless of hash iteration order).
+template <typename Map, typename WriteKv>
+void save_sorted_map(state::StateWriter& w, const Map& m, WriteKv&& kv) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(m.size());
+  for (const auto& [k, _] : m) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  w.u32(std::uint32_t(keys.size()));
+  for (const auto& k : keys) kv(k, m.at(k));
+}
+
+}  // namespace
+
+void DuModel::save_state(state::StateWriter& w) const {
+  sched_.save_state(w);
+  w.u64(stats_.cplane_tx);
+  w.u64(stats_.uplane_tx);
+  w.u64(stats_.uplane_rx);
+  w.u64(stats_.late_drops);
+  w.u64(stats_.parse_errors);
+  w.u64(stats_.ul_decode_fail);
+  w.u64(stats_.prach_detections);
+  w.u64(stats_.pool_exhausted);
+  save_sorted_map(w, seq_, [&](std::uint16_t k, std::uint8_t v) {
+    w.u16(k);
+    w.u8(v);
+  });
+  save_sorted_map(w, last_dl_errors_, [&](UeId k, std::uint64_t v) {
+    w.i32(k);
+    w.u64(v);
+  });
+  save_sorted_map(w, last_ul_errors_, [&](UeId k, std::uint64_t v) {
+    w.i32(k);
+    w.u64(v);
+  });
+  w.b(failed_);
+}
+
+void DuModel::load_state(state::StateReader& r) {
+  sched_.load_state(r);
+  stats_.cplane_tx = r.u64();
+  stats_.uplane_tx = r.u64();
+  stats_.uplane_rx = r.u64();
+  stats_.late_drops = r.u64();
+  stats_.parse_errors = r.u64();
+  stats_.ul_decode_fail = r.u64();
+  stats_.prach_detections = r.u64();
+  stats_.pool_exhausted = r.u64();
+  seq_.clear();
+  for (std::uint32_t i = 0, n = r.count(3); i < n && r.ok(); ++i) {
+    std::uint16_t k = r.u16();
+    seq_[k] = r.u8();
+  }
+  last_dl_errors_.clear();
+  for (std::uint32_t i = 0, n = r.count(12); i < n && r.ok(); ++i) {
+    UeId k = r.i32();
+    last_dl_errors_[k] = r.u64();
+  }
+  last_ul_errors_.clear();
+  for (std::uint32_t i = 0, n = r.count(12); i < n && r.ok(); ++i) {
+    UeId k = r.i32();
+    last_ul_errors_[k] = r.u64();
+  }
+  failed_ = r.b();
+}
+
 }  // namespace rb

@@ -73,6 +73,13 @@ class DuModel {
     sched_.add_ul_backlog(ue, bits);
   }
 
+  /// Checkpoint persistent DU state: scheduler, fronthaul sequence
+  /// numbers, HARQ error watermarks, stats and the failure flag. Per-slot
+  /// section tables and allocations are slot-keyed scratch, rebuilt at the
+  /// next begin_slot, so they are not state.
+  void save_state(state::StateWriter& w) const;
+  void load_state(state::StateReader& r);
+
   /// Amplitude floor for declaring an UL allocation decodable, as a factor
   /// over the noise RMS.
   static constexpr double kUlDecodeFactor = 1.35;

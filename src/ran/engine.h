@@ -109,6 +109,13 @@ class SlotEngine {
   /// Returns true if all attached.
   bool run_until_attached(int max_slots = 400);
 
+  /// Checkpoint/restore support: set virtual time to a checkpointed
+  /// symbol count. Only meaningful at the slot barrier (between
+  /// run_slots calls); mid-slot restore is undefined.
+  void restore_clock_symbols(std::int64_t symbols) {
+    clock_.set_total_symbols(symbols);
+  }
+
  private:
   /// One shard of the deployment: entities reachable from each other
   /// through shared affinity keys. Everything in an island runs on one

@@ -328,4 +328,51 @@ void RuModel::emit_ul(std::int64_t slot, std::int64_t slot_start_ns) {
   }
 }
 
+void RuModel::save_state(state::StateWriter& w) const {
+  w.u8(ul_comp_.iq_width);
+  w.u32(rng_);
+  std::vector<std::uint16_t> keys;
+  keys.reserve(seq_.size());
+  for (const auto& [k, _] : seq_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  w.u32(std::uint32_t(keys.size()));
+  for (std::uint16_t k : keys) {
+    w.u16(k);
+    w.u8(seq_.at(k));
+  }
+  w.u64(stats_.cplane_rx);
+  w.u64(stats_.uplane_rx);
+  w.u64(stats_.uplane_tx);
+  w.u64(stats_.late_drops);
+  w.u64(stats_.parse_errors);
+  w.u64(stats_.unexpected_port_drops);
+  w.u64(stats_.uplane_without_cplane);
+  w.u64(stats_.prach_tx);
+  w.u64(stats_.pool_exhausted);
+}
+
+void RuModel::load_state(state::StateReader& r) {
+  std::uint8_t width = r.u8();
+  if (width < 1 || width > 16) {
+    r.fail(state::StateError::kBadValue);
+    return;
+  }
+  ul_comp_.iq_width = width;
+  rng_ = r.u32();
+  seq_.clear();
+  for (std::uint32_t i = 0, n = r.count(3); i < n && r.ok(); ++i) {
+    std::uint16_t k = r.u16();
+    seq_[k] = r.u8();
+  }
+  stats_.cplane_rx = r.u64();
+  stats_.uplane_rx = r.u64();
+  stats_.uplane_tx = r.u64();
+  stats_.late_drops = r.u64();
+  stats_.parse_errors = r.u64();
+  stats_.unexpected_port_drops = r.u64();
+  stats_.uplane_without_cplane = r.u64();
+  stats_.prach_tx = r.u64();
+  stats_.pool_exhausted = r.u64();
+}
+
 }  // namespace rb

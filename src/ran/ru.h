@@ -73,6 +73,12 @@ class RuModel {
   }
   int ul_iq_width() const { return ul_comp_.iq_width; }
 
+  /// Checkpoint persistent RU state: adapted UL compression width, the
+  /// payload-synthesis RNG, fronthaul sequence numbers and stats. The
+  /// C-plane request cache is slot-keyed scratch and not state.
+  void save_state(state::StateWriter& w) const;
+  void load_state(state::StateReader& r);
+
  private:
   struct UlRequest {
     int port = 0;

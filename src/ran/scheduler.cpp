@@ -160,4 +160,56 @@ void MacScheduler::log_utilization(std::int64_t slot, int dl_prbs,
   while (log_.size() > kMaxLog) log_.pop_front();
 }
 
+void MacScheduler::save_state(state::StateWriter& w) const {
+  std::vector<UeId> ids;
+  ids.reserve(ue_state_.size());
+  for (const auto& [ue, _] : ue_state_) ids.push_back(ue);
+  std::sort(ids.begin(), ids.end());
+  w.u32(std::uint32_t(ids.size()));
+  for (UeId ue : ids) {
+    const UeSched& st = ue_state_.at(ue);
+    w.i32(ue);
+    w.i64(st.dl_backlog);
+    w.i64(st.ul_backlog);
+    w.f64(st.olla_db);
+    w.f64(st.ul_olla_db);
+    w.i32(st.rr_slots);
+  }
+  w.u32(std::uint32_t(log_.size()));
+  for (const PrbUtilSample& s : log_) {
+    w.i64(s.slot);
+    w.i32(s.dl_prbs);
+    w.i32(s.ul_prbs);
+    w.i32(s.total_prbs);
+    w.b(s.dl_slot);
+    w.b(s.ul_slot);
+  }
+}
+
+void MacScheduler::load_state(state::StateReader& r) {
+  ue_state_.clear();
+  std::uint32_t n = r.count(40);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    UeId ue = r.i32();
+    UeSched& st = ue_state_[ue];
+    st.dl_backlog = r.i64();
+    st.ul_backlog = r.i64();
+    st.olla_db = r.f64();
+    st.ul_olla_db = r.f64();
+    st.rr_slots = r.i32();
+  }
+  log_.clear();
+  std::uint32_t m = r.count(22);
+  for (std::uint32_t i = 0; i < m && r.ok(); ++i) {
+    PrbUtilSample s;
+    s.slot = r.i64();
+    s.dl_prbs = r.i32();
+    s.ul_prbs = r.i32();
+    s.total_prbs = r.i32();
+    s.dl_slot = r.b();
+    s.ul_slot = r.b();
+    log_.push_back(s);
+  }
+}
+
 }  // namespace rb

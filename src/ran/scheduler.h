@@ -84,6 +84,12 @@ class MacScheduler {
   double ul_olla_db(UeId ue) const;
   int n_prb() const { return n_prb_; }
 
+  /// Checkpoint per-UE backlog/OLLA state and the utilization log. UE
+  /// entries are written sorted by UeId so the blob is deterministic
+  /// regardless of hash-map iteration order.
+  void save_state(state::StateWriter& w) const;
+  void load_state(state::StateReader& r);
+
  private:
   struct UeSched {
     std::int64_t dl_backlog = 0;

@@ -1,0 +1,489 @@
+#include "sim/hitless.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "common/state_stats.h"
+#include "obs/obs.h"
+
+namespace rb {
+namespace {
+
+/// Section versions written by this builder. Readers accept exactly
+/// these; a newer format bumps the version and keeps a compat path.
+constexpr std::uint32_t kVer = 1;
+
+/// Bounded audit log (newest last).
+constexpr std::size_t kLogCap = 256;
+
+}  // namespace
+
+std::vector<std::uint8_t> checkpoint(const Deployment& d) {
+  state::StateWriter w;
+
+  // Shape fingerprint: instance counts in builder order. Restore
+  // validates these before touching any component.
+  w.begin_section(state::kSecMeta, kVer);
+  w.i64(d.engine.clock().total_symbols());
+  w.u32(std::uint32_t(d.ports.size()));
+  w.u32(std::uint32_t(d.switches.size()));
+  w.u32(std::uint32_t(d.dus.size()));
+  w.u32(std::uint32_t(d.rus.size()));
+  w.u32(std::uint32_t(d.faults.size()));
+  w.u32(std::uint32_t(d.runtimes.size()));
+  w.u32(std::uint32_t(d.controllers.size()));
+  w.end_section();
+
+  w.begin_section(state::kSecClock, kVer);
+  w.i64(d.engine.clock().total_symbols());
+  w.end_section();
+
+  w.begin_section(state::kSecAir, kVer);
+  d.air.save_state(w);
+  w.end_section();
+
+  w.begin_section(state::kSecTraffic, kVer);
+  d.traffic.save_state(w);
+  w.end_section();
+
+  w.begin_section(state::kSecPort, kVer);
+  w.u32(std::uint32_t(d.ports.size()));
+  for (const auto& p : d.ports) p->save_state(w);
+  w.end_section();
+
+  w.begin_section(state::kSecSwitch, kVer);
+  w.u32(std::uint32_t(d.switches.size()));
+  for (const auto& s : d.switches) s->save_state(w);
+  w.end_section();
+
+  w.begin_section(state::kSecDu, kVer);
+  w.u32(std::uint32_t(d.dus.size()));
+  for (const auto& du : d.dus) du->save_state(w);
+  w.end_section();
+
+  w.begin_section(state::kSecRu, kVer);
+  w.u32(std::uint32_t(d.rus.size()));
+  for (const auto& ru : d.rus) ru->save_state(w);
+  w.end_section();
+
+  w.begin_section(state::kSecFault, kVer);
+  w.u32(std::uint32_t(d.faults.size()));
+  for (const auto& f : d.faults) f->save_state(w);
+  w.end_section();
+
+  w.begin_section(state::kSecRuntime, kVer);
+  w.u32(std::uint32_t(d.runtimes.size()));
+  for (const auto& rt : d.runtimes) rt->save_state(w);
+  w.end_section();
+
+  w.begin_section(state::kSecCtrl, kVer);
+  w.u32(std::uint32_t(d.controllers.size()));
+  for (const auto& c : d.controllers) c->save_state(w);
+  w.end_section();
+
+  std::vector<std::uint8_t> blob = w.finish();
+  statestats::checkpoints_total().fetch_add(1, std::memory_order_relaxed);
+  statestats::checkpoint_bytes_last().store(blob.size(),
+                                            std::memory_order_relaxed);
+  return blob;
+}
+
+RestoreResult restore(Deployment& d, const std::vector<std::uint8_t>& blob) {
+  state::StateReader r(blob);
+  RestoreResult res;
+  const auto fail = [&](const char* where) {
+    res.error =
+        r.ok() ? state::StateError::kMismatch : r.error();
+    res.detail = where;
+    statestats::restore_errors_total().fetch_add(1,
+                                                 std::memory_order_relaxed);
+    return res;
+  };
+
+  std::uint32_t seen_mask = 0;  // bit per known section id
+  std::int64_t symbols = -1;
+  state::SectionInfo info;
+  while (r.next_section(&info)) {
+    // Version gate per known section; unknown ids skip (a newer writer
+    // may append sections this reader has never heard of).
+    const bool known = info.id >= state::kSecMeta &&
+                       info.id <= state::kSecSwitch;
+    if (known) {
+      if (info.version != kVer) {
+        r.fail(state::StateError::kBadVersion);
+        return fail("version");
+      }
+      seen_mask |= 1u << info.id;
+    }
+    switch (info.id) {
+      case state::kSecMeta: {
+        (void)r.i64();  // checkpoint symbol count (read again via kSecClock)
+        const bool shape_ok = r.u32() == d.ports.size() &&
+                              r.u32() == d.switches.size() &&
+                              r.u32() == d.dus.size() &&
+                              r.u32() == d.rus.size() &&
+                              r.u32() == d.faults.size() &&
+                              r.u32() == d.runtimes.size() &&
+                              r.u32() == d.controllers.size();
+        if (!r.ok() || !shape_ok) {
+          r.fail(state::StateError::kMismatch);
+          return fail("meta");
+        }
+        break;
+      }
+      case state::kSecClock:
+        symbols = r.i64();
+        break;
+      case state::kSecAir:
+        d.air.load_state(r);
+        if (!r.ok()) return fail("air");
+        break;
+      case state::kSecTraffic:
+        d.traffic.load_state(r);
+        if (!r.ok()) return fail("traffic");
+        break;
+      case state::kSecPort: {
+        if (r.count(1) != d.ports.size()) {
+          r.fail(state::StateError::kMismatch);
+          return fail("ports");
+        }
+        for (auto& p : d.ports) {
+          p->load_state(r, PacketPool::default_pool());
+          if (!r.ok()) return fail("ports");
+        }
+        break;
+      }
+      case state::kSecSwitch: {
+        if (r.count(1) != d.switches.size()) {
+          r.fail(state::StateError::kMismatch);
+          return fail("switches");
+        }
+        for (auto& s : d.switches) {
+          s->load_state(r);
+          if (!r.ok()) return fail("switches");
+        }
+        break;
+      }
+      case state::kSecDu: {
+        if (r.count(1) != d.dus.size()) {
+          r.fail(state::StateError::kMismatch);
+          return fail("dus");
+        }
+        for (auto& du : d.dus) {
+          du->load_state(r);
+          if (!r.ok()) return fail("dus");
+        }
+        break;
+      }
+      case state::kSecRu: {
+        if (r.count(1) != d.rus.size()) {
+          r.fail(state::StateError::kMismatch);
+          return fail("rus");
+        }
+        for (auto& ru : d.rus) {
+          ru->load_state(r);
+          if (!r.ok()) return fail("rus");
+        }
+        break;
+      }
+      case state::kSecFault: {
+        if (r.count(1) != d.faults.size()) {
+          r.fail(state::StateError::kMismatch);
+          return fail("faults");
+        }
+        for (auto& f : d.faults) {
+          f->load_state(r);
+          if (!r.ok()) return fail("faults");
+        }
+        break;
+      }
+      case state::kSecRuntime: {
+        if (r.count(1) != d.runtimes.size()) {
+          r.fail(state::StateError::kMismatch);
+          return fail("runtimes");
+        }
+        for (auto& rt : d.runtimes) {
+          rt->load_state(r);
+          if (!r.ok()) return fail("runtimes");
+        }
+        break;
+      }
+      case state::kSecCtrl: {
+        if (r.count(1) != d.controllers.size()) {
+          r.fail(state::StateError::kMismatch);
+          return fail("controllers");
+        }
+        for (auto& c : d.controllers) {
+          c->load_state(r);
+          if (!r.ok()) return fail("controllers");
+        }
+        break;
+      }
+      default:
+        break;  // unknown section: skip_section below tolerates it
+    }
+    r.skip_section();
+    if (!r.ok()) return fail("section");
+  }
+  if (!r.ok()) return fail("blob");
+  // A restore (unlike a forward-compat read) requires every section this
+  // builder writes: a blob missing one - e.g. an id corrupted into an
+  // unknown value and skipped - must not half-restore silently.
+  std::uint32_t want_mask = 0;
+  for (std::uint32_t id = state::kSecMeta; id <= state::kSecSwitch; ++id)
+    want_mask |= 1u << id;
+  if ((seen_mask & want_mask) != want_mask || symbols < 0) {
+    r.fail(state::StateError::kMismatch);
+    return fail("section-missing");
+  }
+  d.engine.restore_clock_symbols(symbols);
+  statestats::restores_total().fetch_add(1, std::memory_order_relaxed);
+  return res;
+}
+
+// --- live reconfiguration ---------------------------------------------
+
+std::string ReconfigOp::str() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::DasSetMember:
+      os << "das[" << index << "] member " << mac.str() << " "
+         << (enable ? "admit" : "eject");
+      break;
+    case Kind::DmimoSetGate:
+      os << "dmimo[" << index << "] ru" << arg << " gate "
+         << (enable ? "open" : "closed");
+      break;
+    case Kind::FailoverTarget:
+      os << "failover[" << index << "] target port" << arg;
+      break;
+    case Kind::FailoverRetune:
+      os << "failover[" << index << "] retune liveness=" << arg
+         << " dwell=" << min_dwell_slots
+         << " confirm=" << failback_confirm_slots
+         << " failback=" << (enable ? 1 : 0);
+      break;
+    case Kind::CtrlRetune:
+      os << "ctrl[" << index << "] retune loss_reduce=" << ctrl_cfg.loss_reduce
+         << " loss_eject=" << ctrl_cfg.loss_eject
+         << " delay_eject_ns=" << ctrl_cfg.delay_eject_ns;
+      break;
+    case Kind::RuSetUlIqWidth:
+      os << "ru[" << index << "] ul_iq_width=" << arg;
+      break;
+  }
+  return os.str();
+}
+
+ReconfigManager::ReconfigManager(Deployment& d) : d_(&d) {
+  obs_name_ = obs::Collector::instance().intern_name("reconfig.apply");
+  obs_track_ = obs::Collector::instance().intern_track("reconfig");
+  d.engine.add_begin_slot_hook([this](std::int64_t slot) { on_slot(slot); });
+}
+
+std::size_t ReconfigManager::request(const DesiredConfig& desired) {
+  std::size_t queued = 0;
+  const auto reject = [&] {
+    ++rejected_;
+    statestats::reconfig_rejected_total().fetch_add(1,
+                                                    std::memory_order_relaxed);
+  };
+  const auto app_at = [&](std::size_t i) -> MiddleboxApp* {
+    return i < d_->runtimes.size() ? &d_->runtimes[i]->app() : nullptr;
+  };
+
+  for (const auto& m : desired.das_members) {
+    auto* das = dynamic_cast<DasMiddlebox*>(app_at(m.runtime));
+    if (!das) {
+      reject();
+      continue;
+    }
+    if (das->member_active(m.mac) == m.active) continue;  // converged
+    ReconfigOp op;
+    op.kind = ReconfigOp::Kind::DasSetMember;
+    op.index = m.runtime;
+    op.mac = m.mac;
+    op.enable = m.active;
+    queue(op);
+    ++queued;
+  }
+  for (const auto& g : desired.dmimo_gates) {
+    auto* dm = dynamic_cast<DmimoMiddlebox*>(app_at(g.runtime));
+    if (!dm) {
+      reject();
+      continue;
+    }
+    if (dm->ru_gated(g.ru) == g.gated) continue;
+    ReconfigOp op;
+    op.kind = ReconfigOp::Kind::DmimoSetGate;
+    op.index = g.runtime;
+    op.arg = int(g.ru);
+    op.enable = !g.gated;
+    queue(op);
+    ++queued;
+  }
+  for (const auto& t : desired.failover_targets) {
+    auto* fo = dynamic_cast<FailoverMiddlebox*>(app_at(t.runtime));
+    if (!fo) {
+      reject();
+      continue;
+    }
+    if (fo->active_port() == t.port) continue;
+    ReconfigOp op;
+    op.kind = ReconfigOp::Kind::FailoverTarget;
+    op.index = t.runtime;
+    op.arg = t.port;
+    queue(op);
+    ++queued;
+  }
+  for (const auto& t : desired.failover_tunings) {
+    auto* fo = dynamic_cast<FailoverMiddlebox*>(app_at(t.runtime));
+    if (!fo) {
+      reject();
+      continue;
+    }
+    const FailoverConfig& c = fo->config();
+    if (c.liveness_slots == t.liveness_slots && c.failback == t.failback &&
+        c.min_dwell_slots == t.min_dwell_slots &&
+        c.failback_confirm_slots == t.failback_confirm_slots)
+      continue;
+    ReconfigOp op;
+    op.kind = ReconfigOp::Kind::FailoverRetune;
+    op.index = t.runtime;
+    op.arg = t.liveness_slots;
+    op.enable = t.failback;
+    op.min_dwell_slots = t.min_dwell_slots;
+    op.failback_confirm_slots = t.failback_confirm_slots;
+    queue(op);
+    ++queued;
+  }
+  for (const auto& t : desired.ctrl_tunings) {
+    if (t.controller >= d_->controllers.size()) {
+      reject();
+      continue;
+    }
+    const ctrl::CtrlConfig& c = d_->controllers[t.controller]->config();
+    const ctrl::CtrlConfig& n = t.cfg;
+    if (c.alpha == n.alpha && c.loss_reduce == n.loss_reduce &&
+        c.degraded_iq_width == n.degraded_iq_width &&
+        c.delay_eject_ns == n.delay_eject_ns &&
+        c.loss_eject == n.loss_eject && c.loss_recover == n.loss_recover &&
+        c.delay_recover_ns == n.delay_recover_ns &&
+        c.hold_slots == n.hold_slots &&
+        c.recover_hold_slots == n.recover_hold_slots &&
+        c.dwell_slots == n.dwell_slots && c.enable_width == n.enable_width &&
+        c.enable_membership == n.enable_membership)
+      continue;
+    ReconfigOp op;
+    op.kind = ReconfigOp::Kind::CtrlRetune;
+    op.index = t.controller;
+    op.ctrl_cfg = t.cfg;
+    queue(op);
+    ++queued;
+  }
+  for (const auto& wdt : desired.ru_widths) {
+    if (wdt.ru >= d_->rus.size()) {
+      reject();
+      continue;
+    }
+    if (d_->rus[wdt.ru]->ul_iq_width() == wdt.width) continue;
+    ReconfigOp op;
+    op.kind = ReconfigOp::Kind::RuSetUlIqWidth;
+    op.index = wdt.ru;
+    op.arg = wdt.width;
+    queue(op);
+    ++queued;
+  }
+  return queued;
+}
+
+bool ReconfigManager::apply(const ReconfigOp& op) {
+  const auto app_at = [&](std::size_t i) -> MiddleboxApp* {
+    return i < d_->runtimes.size() ? &d_->runtimes[i]->app() : nullptr;
+  };
+  switch (op.kind) {
+    case ReconfigOp::Kind::DasSetMember: {
+      auto* das = dynamic_cast<DasMiddlebox*>(app_at(op.index));
+      return das && das->set_member_active(op.mac, op.enable);
+    }
+    case ReconfigOp::Kind::DmimoSetGate: {
+      auto* dm = dynamic_cast<DmimoMiddlebox*>(app_at(op.index));
+      return dm && dm->set_ru_gated(std::size_t(op.arg), !op.enable);
+    }
+    case ReconfigOp::Kind::FailoverTarget: {
+      auto* fo = dynamic_cast<FailoverMiddlebox*>(app_at(op.index));
+      return fo && fo->force_active(op.arg);
+    }
+    case ReconfigOp::Kind::FailoverRetune: {
+      auto* fo = dynamic_cast<FailoverMiddlebox*>(app_at(op.index));
+      if (!fo) return false;
+      fo->retune(op.arg, op.enable, op.min_dwell_slots,
+                 op.failback_confirm_slots);
+      return true;
+    }
+    case ReconfigOp::Kind::CtrlRetune: {
+      if (op.index >= d_->controllers.size()) return false;
+      d_->controllers[op.index]->retune(op.ctrl_cfg);
+      return true;
+    }
+    case ReconfigOp::Kind::RuSetUlIqWidth: {
+      return op.index < d_->rus.size() &&
+             d_->rus[op.index]->set_ul_iq_width(op.arg);
+    }
+  }
+  return false;
+}
+
+void ReconfigManager::on_slot(std::int64_t slot) {
+  if (pending_.empty()) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t ok = 0;
+  for (const ReconfigOp& op : pending_) {
+    if (apply(op)) {
+      ++ok;
+      if (log_.size() >= kLogCap) log_.erase(log_.begin());
+      log_.push_back("slot " + std::to_string(slot) + ": " + op.str());
+    } else {
+      ++rejected_;
+      statestats::reconfig_rejected_total().fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
+  pending_.clear();
+  applied_ += ok;
+  ++batches_;
+  statestats::reconfigs_total().fetch_add(1, std::memory_order_relaxed);
+  statestats::reconfig_ops_total().fetch_add(ok, std::memory_order_relaxed);
+  const std::uint64_t wall = std::uint64_t(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  statestats::note_reconfig_wall_ns(wall);
+  if (obs::enabled()) {
+    // Packet-category span: barrier apply latency folds into the
+    // "reconfig" track's processing-latency histogram.
+    obs::emit(obs::Cat::Packet, obs_name_, obs_track_,
+              slot * slot_duration_ns(Scs::kHz30), std::uint32_t(wall), ok);
+  }
+}
+
+std::string ReconfigManager::reconfig_mgmt(const std::string& cmd) {
+  std::istringstream is(cmd);
+  std::string what;
+  is >> what;
+  if (what == "status" || what.empty()) {
+    std::ostringstream os;
+    os << "batches=" << batches_ << " applied=" << applied_
+       << " rejected=" << rejected_ << " pending=" << pending_.size() << "\n";
+    return os.str();
+  }
+  if (what == "pending") return std::to_string(pending_.size());
+  if (what == "log") {
+    std::string out;
+    for (const std::string& line : log_) out += line + "\n";
+    return out.empty() ? "(empty)" : out;
+  }
+  return "unknown reconfig subcommand (status|pending|log)";
+}
+
+}  // namespace rb

@@ -35,4 +35,23 @@ void TrafficGen::on_slot(std::int64_t) {
   }
 }
 
+void TrafficGen::save_state(state::StateWriter& w) const {
+  w.u32(std::uint32_t(flows_.size()));
+  for (const Flow& f : flows_) {
+    w.f64(f.dl_carry);
+    w.f64(f.ul_carry);
+  }
+}
+
+void TrafficGen::load_state(state::StateReader& r) {
+  if (r.count(16) != flows_.size()) {
+    r.fail(state::StateError::kMismatch);
+    return;
+  }
+  for (Flow& f : flows_) {
+    f.dl_carry = r.f64();
+    f.ul_carry = r.f64();
+  }
+}
+
 }  // namespace rb

@@ -21,6 +21,11 @@ class TrafficGen {
   /// Engine traffic hook: inject one slot's worth of offered bits.
   void on_slot(std::int64_t slot);
 
+  /// Checkpoint the fractional-bit carry of every flow (flow definitions
+  /// are config, rebuilt by the deployment builder in the same order).
+  void save_state(state::StateWriter& w) const;
+  void load_state(state::StateReader& r);
+
  private:
   struct Flow {
     DuModel* du;

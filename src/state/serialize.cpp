@@ -1,0 +1,275 @@
+#include "state/serialize.h"
+
+#include <array>
+#include <cstring>
+
+namespace rb::state {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54534252;  // "RBST" little-endian
+constexpr std::uint32_t kFormat = 1;
+constexpr std::size_t kHeaderSize = 12;        // magic + format + n_sections
+constexpr std::size_t kSectionHeader = 20;     // id + version + len + crc
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+void put_u32(std::vector<std::uint8_t>& buf, std::size_t at,
+             std::uint32_t v) {
+  buf[at] = std::uint8_t(v);
+  buf[at + 1] = std::uint8_t(v >> 8);
+  buf[at + 2] = std::uint8_t(v >> 16);
+  buf[at + 3] = std::uint8_t(v >> 24);
+}
+
+void put_u64(std::vector<std::uint8_t>& buf, std::size_t at,
+             std::uint64_t v) {
+  put_u32(buf, at, std::uint32_t(v));
+  put_u32(buf, at + 4, std::uint32_t(v >> 32));
+}
+
+}  // namespace
+
+const char* error_name(StateError e) {
+  switch (e) {
+    case StateError::kNone: return "none";
+    case StateError::kBadMagic: return "bad-magic";
+    case StateError::kBadFormat: return "bad-format";
+    case StateError::kTruncated: return "truncated";
+    case StateError::kBadCrc: return "bad-crc";
+    case StateError::kBadSection: return "bad-section";
+    case StateError::kBadValue: return "bad-value";
+    case StateError::kBadVersion: return "bad-version";
+    case StateError::kMismatch: return "mismatch";
+  }
+  return "unknown";
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::uint8_t byte : data)
+    c = table[(c ^ byte) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+// --- StateWriter ------------------------------------------------------
+
+StateWriter::StateWriter() {
+  buf_.resize(kHeaderSize, 0);
+  put_u32(buf_, 0, kMagic);
+  put_u32(buf_, 4, kFormat);
+  // n_sections backpatched in finish().
+}
+
+void StateWriter::begin_section(std::uint32_t id, std::uint32_t version) {
+  section_start_ = buf_.size();
+  in_section_ = true;
+  ++n_sections_;
+  buf_.resize(buf_.size() + kSectionHeader, 0);
+  put_u32(buf_, section_start_, id);
+  put_u32(buf_, section_start_ + 4, version);
+  // len + crc backpatched in end_section().
+}
+
+void StateWriter::end_section() {
+  std::size_t payload_at = section_start_ + kSectionHeader;
+  std::uint64_t len = buf_.size() - payload_at;
+  put_u64(buf_, section_start_ + 8, len);
+  put_u32(buf_, section_start_ + 16,
+          crc32({buf_.data() + payload_at, std::size_t(len)}));
+  in_section_ = false;
+}
+
+void StateWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void StateWriter::u16(std::uint16_t v) {
+  buf_.push_back(std::uint8_t(v));
+  buf_.push_back(std::uint8_t(v >> 8));
+}
+
+void StateWriter::u32(std::uint32_t v) {
+  u16(std::uint16_t(v));
+  u16(std::uint16_t(v >> 16));
+}
+
+void StateWriter::u64(std::uint64_t v) {
+  u32(std::uint32_t(v));
+  u32(std::uint32_t(v >> 32));
+}
+
+void StateWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void StateWriter::str(std::string_view s) {
+  u32(std::uint32_t(s.size()));
+  bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+void StateWriter::bytes(std::span<const std::uint8_t> src) {
+  buf_.insert(buf_.end(), src.begin(), src.end());
+}
+
+std::vector<std::uint8_t> StateWriter::finish() {
+  if (in_section_) end_section();
+  put_u32(buf_, 8, n_sections_);
+  return std::move(buf_);
+}
+
+// --- StateReader ------------------------------------------------------
+
+StateReader::StateReader(std::span<const std::uint8_t> blob) : blob_(blob) {
+  if (blob_.size() < kHeaderSize) {
+    err_ = StateError::kTruncated;
+    return;
+  }
+  auto rd_u32 = [&](std::size_t at) {
+    return std::uint32_t(blob_[at]) | std::uint32_t(blob_[at + 1]) << 8 |
+           std::uint32_t(blob_[at + 2]) << 16 |
+           std::uint32_t(blob_[at + 3]) << 24;
+  };
+  if (rd_u32(0) != kMagic) {
+    err_ = StateError::kBadMagic;
+    return;
+  }
+  if (rd_u32(4) > kFormat) {
+    err_ = StateError::kBadFormat;
+    return;
+  }
+  sections_left_ = rd_u32(8);
+  pos_ = kHeaderSize;
+  section_end_ = pos_;
+}
+
+void StateReader::fail(StateError e) {
+  if (err_ == StateError::kNone) err_ = e;
+}
+
+bool StateReader::next_section(SectionInfo* info) {
+  if (err_ != StateError::kNone || sections_left_ == 0) return false;
+  pos_ = section_end_;  // drop any unread tail of the previous section
+  if (pos_ + kSectionHeader > blob_.size()) {
+    err_ = StateError::kTruncated;
+    return false;
+  }
+  auto rd_u32 = [&](std::size_t at) {
+    return std::uint32_t(blob_[at]) | std::uint32_t(blob_[at + 1]) << 8 |
+           std::uint32_t(blob_[at + 2]) << 16 |
+           std::uint32_t(blob_[at + 3]) << 24;
+  };
+  SectionInfo s;
+  s.id = rd_u32(pos_);
+  s.version = rd_u32(pos_ + 4);
+  s.len = std::uint64_t(rd_u32(pos_ + 8)) |
+          std::uint64_t(rd_u32(pos_ + 12)) << 32;
+  std::uint32_t crc = rd_u32(pos_ + 16);
+  pos_ += kSectionHeader;
+  if (s.len > blob_.size() - pos_) {
+    err_ = StateError::kBadSection;
+    return false;
+  }
+  if (crc32({blob_.data() + pos_, std::size_t(s.len)}) != crc) {
+    err_ = StateError::kBadCrc;
+    return false;
+  }
+  section_end_ = pos_ + std::size_t(s.len);
+  --sections_left_;
+  if (info) *info = s;
+  return true;
+}
+
+void StateReader::skip_section() { pos_ = section_end_; }
+
+bool StateReader::take(void* dst, std::size_t n) {
+  if (err_ != StateError::kNone) return false;
+  if (pos_ + n > section_end_) {
+    err_ = StateError::kTruncated;
+    return false;
+  }
+  std::memcpy(dst, blob_.data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t StateReader::u8() {
+  std::uint8_t v = 0;
+  take(&v, 1);
+  return v;
+}
+
+std::uint16_t StateReader::u16() {
+  std::uint8_t b[2] = {};
+  take(b, 2);
+  return std::uint16_t(b[0] | b[1] << 8);
+}
+
+std::uint32_t StateReader::u32() {
+  std::uint8_t b[4] = {};
+  take(b, 4);
+  return std::uint32_t(b[0]) | std::uint32_t(b[1]) << 8 |
+         std::uint32_t(b[2]) << 16 | std::uint32_t(b[3]) << 24;
+}
+
+std::uint64_t StateReader::u64() {
+  std::uint64_t lo = u32();
+  std::uint64_t hi = u32();
+  return lo | hi << 32;
+}
+
+double StateReader::f64() {
+  std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+bool StateReader::b() {
+  std::uint8_t v = u8();
+  if (v > 1) {
+    fail(StateError::kBadValue);
+    return false;
+  }
+  return v == 1;
+}
+
+std::uint32_t StateReader::count(std::size_t min_elem_bytes) {
+  std::uint32_t n = u32();
+  if (err_ != StateError::kNone) return 0;
+  if (min_elem_bytes == 0) min_elem_bytes = 1;
+  if (std::uint64_t(n) * min_elem_bytes > section_remaining()) {
+    fail(StateError::kBadValue);
+    return 0;
+  }
+  return n;
+}
+
+std::string StateReader::str() {
+  std::uint32_t n = u32();
+  if (err_ != StateError::kNone) return {};
+  if (n > section_remaining()) {
+    fail(StateError::kTruncated);
+    return {};
+  }
+  std::string s(n, '\0');
+  take(s.data(), n);
+  return s;
+}
+
+void StateReader::bytes(std::span<std::uint8_t> out) {
+  if (!take(out.data(), out.size()) && !out.empty())
+    std::memset(out.data(), 0, out.size());
+}
+
+}  // namespace rb::state

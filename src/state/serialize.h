@@ -1,0 +1,152 @@
+// Versioned, deterministic binary serialization for checkpoint/restore.
+//
+// A state blob is a header followed by a flat list of sections:
+//
+//   header : [magic "RBST" u32][format u32][n_sections u32]
+//   section: [id u32][version u32][len u64][crc32 u32][payload ...]
+//
+// All integers are little-endian fixed-width; doubles are raw IEEE-754
+// bit patterns, so serialize -> restore -> re-serialize is byte-identical.
+// Readers validate bounds and CRC before exposing any payload byte and
+// skip sections whose id they do not know (forward compatibility: a newer
+// writer may append new sections without breaking older readers). Errors
+// are typed values, never exceptions — a corrupted or truncated blob must
+// be rejected deterministically, not crash the datapath.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rb::state {
+
+/// Why a blob was rejected. kNone means the operation succeeded.
+enum class StateError {
+  kNone = 0,
+  kBadMagic,     // header magic mismatch — not a state blob
+  kBadFormat,    // blob format number newer than this reader
+  kTruncated,    // ran off the end of the blob or a section payload
+  kBadCrc,       // section payload failed its CRC32 check
+  kBadSection,   // malformed section header (e.g. length overruns blob)
+  kBadValue,     // a field decoded to an impossible value (e.g. bool == 7)
+  kBadVersion,   // a known section carries an unsupported version
+  kMismatch,     // blob shape does not match the live deployment
+};
+
+const char* error_name(StateError e);
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). seed lets callers chain.
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0);
+
+/// Registry of checkpoint section ids. Every stateful component owns one
+/// id; instances of the same type appear in deterministic builder order.
+/// Never renumber an existing id — append only (forward compatibility).
+enum SectionId : std::uint32_t {
+  kSecMeta = 1,      // deployment shape fingerprint + checkpoint slot
+  kSecClock = 2,     // SlotClock virtual time
+  kSecAir = 3,       // AirModel UE / cell state
+  kSecTraffic = 4,   // TrafficGen flow carries
+  kSecPort = 5,      // one per Port: rx queue + stats (in-flight packets)
+  kSecDu = 6,        // one per DuModel (includes its MacScheduler)
+  kSecRu = 7,        // one per RuModel
+  kSecFault = 8,     // one per FaultyLink: RNG streams, GE state, held pkt
+  kSecRuntime = 9,   // one per MiddleboxRuntime: telemetry, cache, app
+  kSecCtrl = 10,     // one per ctrl::AdaptationController
+  kSecSwitch = 11,   // one per EmbeddedSwitch: learned FDB + port stats
+};
+
+/// Append-only section writer. Usage:
+///   StateWriter w;
+///   w.begin_section(kSecClock, 1); w.u64(...); w.end_section();
+///   auto blob = w.finish();
+class StateWriter {
+ public:
+  StateWriter();
+
+  void begin_section(std::uint32_t id, std::uint32_t version);
+  void end_section();  // backpatches length + CRC of the open section
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void b(bool v) { u8(v ? 1 : 0); }
+  /// u32 length prefix + raw bytes.
+  void str(std::string_view s);
+  void bytes(std::span<const std::uint8_t> src);
+
+  /// Finalize: backpatch the section count, move the blob out. The writer
+  /// must not be reused afterwards.
+  std::vector<std::uint8_t> finish();
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t section_start_ = 0;  // offset of the open section header
+  bool in_section_ = false;
+  std::uint32_t n_sections_ = 0;
+};
+
+struct SectionInfo {
+  std::uint32_t id = 0;
+  std::uint32_t version = 0;
+  std::uint64_t len = 0;
+};
+
+/// Validating reader. Iterate with next_section(); within a section, read
+/// primitives in the order they were written. Any structural problem
+/// latches a StateError: all subsequent reads return zero values and
+/// next_section() returns false, so callers may check ok() once at the
+/// end of a load instead of after every field.
+class StateReader {
+ public:
+  explicit StateReader(std::span<const std::uint8_t> blob);
+
+  bool ok() const { return err_ == StateError::kNone; }
+  StateError error() const { return err_; }
+  /// Latch an error from a higher layer (e.g. a section version the
+  /// component does not support). First error wins.
+  void fail(StateError e);
+
+  /// Advance to the next section; validates its header and payload CRC.
+  /// Returns false at end of blob or on error.
+  bool next_section(SectionInfo* info);
+  /// Skip whatever remains of the current section's payload. Call after
+  /// loading a section so unknown appended fields are tolerated, or to
+  /// ignore an unknown section entirely.
+  void skip_section();
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  bool b();
+  std::string str();
+  /// Read a u32 element count, validating that `count * min_elem_bytes`
+  /// still fits in the current section — so a corrupt count can never
+  /// drive a huge container allocation. Latches kBadValue on overrun.
+  std::uint32_t count(std::size_t min_elem_bytes = 1);
+  /// Fill `out` exactly; underrun latches kTruncated.
+  void bytes(std::span<std::uint8_t> out);
+  /// Unread payload bytes of the current section.
+  std::uint64_t section_remaining() const { return section_end_ - pos_; }
+
+ private:
+  bool take(void* dst, std::size_t n);
+
+  std::span<const std::uint8_t> blob_;
+  std::size_t pos_ = 0;
+  std::size_t section_end_ = 0;  // payload end of the current section
+  std::uint32_t sections_left_ = 0;
+  StateError err_ = StateError::kNone;
+};
+
+}  // namespace rb::state

@@ -2,6 +2,8 @@
 // runtime accounting and chaining.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/chain.h"
 #include "core/mgmt.h"
 #include "core/middlebox.h"
@@ -201,7 +203,51 @@ TEST(Mgmt, BuiltinAndAppCommands) {
   EXPECT_EQ(mgmt.handle("gauge bar").substr(0, 3), "2.5");
   EXPECT_NE(mgmt.handle("stats").find("foo=3"), std::string::npos);
   EXPECT_EQ(mgmt.handle("ping"), "pong");  // delegated to the app
-  EXPECT_EQ(mgmt.handle("nonsense"), "unknown command");
+}
+
+TEST(Mgmt, UnknownVerbListsRegisteredVerbs) {
+  RuntimeRig rig;
+  MgmtEndpoint mgmt(rig.rt);
+  const std::string reply = mgmt.handle("nonsense");
+  // The reply names the offending verb and every registered core verb.
+  EXPECT_NE(reply.find("unknown verb 'nonsense'"), std::string::npos);
+  for (const char* verb :
+       {"help", "stats", "name", "counter", "gauge", "cpuinfo", "prom",
+        "ctrl", "obs", "state", "reconfig"})
+    EXPECT_NE(reply.find(verb), std::string::npos) << verb;
+  // And points at the app's own verbs.
+  EXPECT_NE(reply.find("echo"), std::string::npos);
+}
+
+TEST(Mgmt, HelpListsEveryVerbWithDescription) {
+  RuntimeRig rig;
+  MgmtEndpoint mgmt(rig.rt);
+  const std::string help = mgmt.handle("help");
+  std::istringstream verbs(MgmtEndpoint::verb_list());
+  std::string verb;
+  int n = 0;
+  while (verbs >> verb) {
+    EXPECT_NE(help.find("  " + verb + " - "), std::string::npos) << verb;
+    ++n;
+  }
+  EXPECT_GE(n, 11);
+}
+
+TEST(Mgmt, StateVerbRoundTripsRuntimeState) {
+  RuntimeRig rig;
+  MgmtEndpoint mgmt(rig.rt);
+  rig.rt.telemetry().inc("foo", 7);
+  const std::string hex = mgmt.handle("state save");
+  EXPECT_FALSE(hex.empty());
+  EXPECT_EQ(hex.find("error"), std::string::npos);
+  rig.rt.telemetry().inc("foo", 1);  // diverge
+  EXPECT_EQ(mgmt.handle("state load " + hex), "ok");
+  EXPECT_EQ(rig.rt.telemetry().counter("foo"), 7u);
+  // Garbage is rejected with a typed error, not UB.
+  EXPECT_EQ(mgmt.handle("state load zz"), "error: not a hex blob");
+  EXPECT_NE(mgmt.handle("state load deadbeef").find("error:"),
+            std::string::npos);
+  EXPECT_NE(mgmt.handle("state info").find("bytes="), std::string::npos);
 }
 
 TEST(Chain, WiresStagesAndAccountsPcie) {
