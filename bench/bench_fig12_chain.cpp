@@ -7,6 +7,9 @@
 //           rushare --- das --- switch --- RU1..RU4
 //   DU_B --'
 #include <chrono>
+#include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "iq/kernels/kernels.h"
@@ -152,6 +155,7 @@ int main() {
   // slot budget, so the dispatch tier shows up directly in wall time).
   const rb::KernelTier active = rb::iq_kernel_tier();
   row("iq kernel dispatch: active=%s", rb::kernel_tier_name(active));
+  std::vector<std::pair<const char*, double>> tier_sps;
   for (std::size_t t = 0; t < rb::kKernelTierCount; ++t) {
     const auto tier = rb::KernelTier(t);
     if (!rb::iq_tier_available(tier)) continue;
@@ -164,7 +168,30 @@ int main() {
             .count();
     row("  tier %-6s : %8.1f slots/s wall", rb::kernel_tier_name(tier),
         160.0 / dt);
+    tier_sps.emplace_back(rb::kernel_tier_name(tier), 160.0 / dt);
   }
   rb::iq_force_tier(active);
+
+  // CI artifact: chain slots/s per kernel tier plus coverage means. The
+  // perf-smoke job diffs this against a committed pre-change baseline
+  // (docs/EXPERIMENTS.md records the measured reference numbers).
+  if (std::FILE* f = std::fopen("BENCH_fig12_chain.json", "w")) {
+    std::fprintf(f, "{\n  \"slots_per_s\": {");
+    bool first = true;
+    for (const auto& [name, sps] : tier_sps) {
+      std::fprintf(f, "%s\"%s\": %.1f", first ? "" : ", ", name, sps);
+      first = false;
+    }
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "  \"active_tier\": \"%s\",\n",
+                 rb::kernel_tier_name(active));
+    std::fprintf(f, "  \"attached\": %s,\n", attached ? "true" : "false");
+    std::fprintf(f,
+                 "  \"mean_mbps\": {\"mno_a\": %.1f, \"mno_b\": %.1f}\n",
+                 mean_a, mean_b);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    row("wrote BENCH_fig12_chain.json");
+  }
   return 0;
 }

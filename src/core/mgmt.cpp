@@ -138,6 +138,21 @@ std::string MgmtEndpoint::handle(const std::string& cmd) {
     for (const auto& [k, v] : rt_->telemetry().gauges())
       os << "rb_mb_gauge{mb=\"" << mb << "\",name=\"" << k << "\"} " << v
          << "\n";
+    // Burst-pipeline shape: packets drained per productive pump and
+    // per-chunk descriptor occupancy, as native Prometheus histograms.
+    const auto hist = [&](const char* name,
+                          const MiddleboxRuntime::BurstHist& h) {
+      os << "# TYPE " << name << " histogram\n";
+      for (std::size_t i = 0; i < h.kLe.size(); ++i)
+        os << name << "_bucket{mb=\"" << mb << "\",le=\"" << h.kLe[i]
+           << "\"} " << h.bucket[i] << "\n";
+      os << name << "_bucket{mb=\"" << mb << "\",le=\"+Inf\"} " << h.count
+         << "\n";
+      os << name << "_sum{mb=\"" << mb << "\"} " << h.sum << "\n";
+      os << name << "_count{mb=\"" << mb << "\"} " << h.count << "\n";
+    };
+    hist("rb_burst_size", rt_->burst_size_hist());
+    hist("rb_burst_occupancy", rt_->burst_occupancy_hist());
     return os.str();
   }
   if (verb == "ctrl") {

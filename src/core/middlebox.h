@@ -63,6 +63,26 @@ struct MbScratch {
   std::vector<CompConfig> src_comps;  // per-source widths (mixed-width merge)
 };
 
+/// Classification of one parsed frame, produced by the burst parse pass:
+/// the per-packet facts every app otherwise re-derives from the frame
+/// (stream identity, radio time, combine keys). Exposed to handlers via
+/// MbContext::frame_info() for the duration of on_frame().
+struct FrameInfo {
+  SlotPoint at{};             // radio time point of the message
+  EaxcId eaxc{};              // stream identity
+  CompConfig comp{};          // first section's compression (msg comp for C)
+  std::uint64_t cache_key = 0;  // PacketCache::key(at, eaxc, cplane, frag_tag)
+  std::uint16_t start_prb = 0;  // first section's PRB range
+  std::uint16_t num_prb = 0;
+  std::uint8_t n_sections = 0;  // saturated at 255
+  std::uint8_t frag_tag = 0;  // first U section's start_prb & 0xff (DAS
+                              // fragment pairing)
+  bool cplane = false;
+  bool uplink = false;        // message direction
+  bool prach = false;         // non-zero du_port: PRACH / mixed numerology
+  bool type3 = false;         // C-plane section type 3
+};
+
 /// Action facade handed to the handler. Bound to the runtime and to the
 /// worker/time context of the packet being processed.
 class MbContext {
@@ -127,6 +147,11 @@ class MbContext {
   std::int64_t slot() const { return slot_; }
   std::int64_t slot_start_ns() const { return slot_start_ns_; }
 
+  /// Precomputed classification of the frame being handled (burst parse
+  /// table row). Non-null exactly during on_frame(); null in on_other,
+  /// on_slot and on_pump_idle contexts.
+  const FrameInfo* frame_info() const { return info_; }
+
   /// Modeled cost accumulated so far for the current packet (ns). Pair
   /// with trace_span() to attribute an app-level phase.
   double cost_ns() const { return cost_ns_; }
@@ -153,6 +178,7 @@ class MbContext {
   std::int64_t slot_start_ns_;
   double cost_ns_ = 0.0;          // accumulated for the current packet
   std::int64_t start_ns_ = 0;     // when the worker started this packet
+  const FrameInfo* info_ = nullptr;  // burst table row (on_frame only)
   /// Emitted packets. Inline storage covers the common fan-out (DAS
   /// replicates to a handful of RUs) without a per-packet allocation.
   SmallVec<std::pair<PacketPtr, int>, 8> tx_queue_;
@@ -252,6 +278,25 @@ class MiddleboxRuntime final : public Pumpable {
     return last_slot_max_latency_ns_;
   }
 
+  /// Burst telemetry: power-of-two-bucketed histograms over (a) packets
+  /// drained per productive pump (rb_burst_size) and (b) packets per
+  /// 32-slot dispatch chunk, i.e. descriptor-ring occupancy
+  /// (rb_burst_occupancy). Rendered by the mgmt "prom" verb.
+  struct BurstHist {
+    static constexpr std::array<std::uint32_t, 6> kLe{1, 2, 4, 8, 16, 32};
+    std::array<std::uint64_t, kLe.size()> bucket{};  // cumulative (le)
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    void record(std::size_t v) {
+      for (std::size_t i = 0; i < kLe.size(); ++i)
+        if (v <= kLe[i]) ++bucket[i];
+      ++count;
+      sum += v;
+    }
+  };
+  const BurstHist& burst_size_hist() const { return burst_size_hist_; }
+  const BurstHist& burst_occupancy_hist() const { return burst_occ_hist_; }
+
   /// Per-packet cost sampling (latency microbenchmarks): called after each
   /// handler invocation with the parsed frame (null for non-fronthaul)
   /// and the modeled processing cost.
@@ -268,8 +313,44 @@ class MiddleboxRuntime final : public Pumpable {
 
  private:
   friend class MbContext;
-  void process_packet(int in_port, PacketPtr p, std::int64_t slot,
-                      std::int64_t slot_start_ns);
+
+  /// One pump's worth of packets, owned by the runtime and reused across
+  /// pumps (the zero-alloc burst descriptor). Packets are drained from
+  /// every port into the arrival arrays, ordered by an index sort, then
+  /// parsed/classified and dispatched in kChunk-packet bursts through the
+  /// SoA table below.
+  struct Burst {
+    static constexpr std::size_t kChunk = Driver::kRxBurst;
+    // Arrival arrays (whole pump, parallel):
+    std::vector<PacketPtr> pkt;
+    std::vector<std::int32_t> in_port;
+    /// (rx_time_ns, drain sequence): sorting pairs reproduces the
+    /// stable-by-arrival order of std::stable_sort without its allocation.
+    std::vector<std::pair<std::int64_t, std::uint32_t>> order;
+    // Parse/classify table for the current chunk (SoA):
+    std::array<FhFrame, kChunk> frame;   // capacity reused across chunks
+    std::array<ParseError, kChunk> perr;
+    std::array<FrameInfo, kChunk> info;
+    std::array<bool, kChunk> ok;
+    /// Per-chunk staged TX, flushed after the chunk's dispatch pass in
+    /// the exact per-packet emission order.
+    std::vector<std::pair<PacketPtr, int>> txq;
+  };
+
+  /// Parse one received frame into `out` through the per-port fronthaul
+  /// context; on reject, counts the typed reason and (under
+  /// RB_DEBUG_PARSE) dumps the head of the frame. The single
+  /// parse-and-reject integration point for the burst path and for cache
+  /// re-parse on state restore.
+  bool parse_rx_frame(int in_port, const Packet& p, FhFrame& out,
+                      ParseError& perr);
+  /// Fill one classify-table row from a parsed frame.
+  static void classify_frame(const FhFrame& f, FrameInfo& info);
+  /// Act stage: run the handler + cost/latency accounting for one packet
+  /// of the current chunk, staging its TX into burst_.txq.
+  void dispatch_packet(int in_port, PacketPtr p, FhFrame* frame,
+                       const FrameInfo* info, ParseError perr,
+                       std::int64_t slot, std::int64_t slot_start_ns);
   /// Give the app its end-of-phase deadline callback; returns true if it
   /// emitted anything.
   bool pump_idle(std::int64_t slot, std::int64_t slot_start_ns);
@@ -308,6 +389,9 @@ class MiddleboxRuntime final : public Pumpable {
   std::int64_t last_slot_max_latency_ns_ = 0;
   std::int64_t current_slot_start_ns_ = 0;
   std::uint64_t cache_evictions_seen_ = 0;
+  Burst burst_;
+  BurstHist burst_size_hist_;
+  BurstHist burst_occ_hist_;
   CostSampler cost_sampler_;
 };
 

@@ -44,11 +44,22 @@ bool CPlaneMsg::encode(BufWriter& w) const {
 }
 
 std::optional<CPlaneMsg> CPlaneMsg::parse(BufReader& r, ParseError* err) {
+  CPlaneMsg m;
+  if (!parse_into(r, m, err)) return std::nullopt;
+  return m;
+}
+
+bool CPlaneMsg::parse_into(BufReader& r, CPlaneMsg& m, ParseError* err) {
   const auto fail = [&](ParseError e) {
     if (err) *err = e;
-    return std::nullopt;
+    return false;
   };
-  CPlaneMsg m;
+  // `m` may be a reused message (burst parse): every field is assigned
+  // below except the type-3 extras and the section list, reset here.
+  m.sections.clear();
+  m.time_offset = 0;
+  m.frame_structure = 0;
+  m.cp_length = 0;
   std::uint8_t b0 = r.u8();
   m.direction = (b0 & 0x80) ? Direction::Downlink : Direction::Uplink;
   m.payload_version = std::uint8_t((b0 >> 4) & 0x7);
@@ -98,7 +109,7 @@ std::optional<CPlaneMsg> CPlaneMsg::parse(BufReader& r, ParseError* err) {
     if (!r.ok()) return fail(ParseError::TruncatedCSection);
     m.sections.push_back(s);
   }
-  return m;
+  return true;
 }
 
 }  // namespace rb

@@ -65,6 +65,10 @@ struct CPlaneMsg {
   /// Parse the radio-application layer.
   static std::optional<CPlaneMsg> parse(BufReader& r,
                                         ParseError* err = nullptr);
+  /// Parse into a reused message (section-vector capacity is kept across
+  /// calls - the burst-parse hot path). Same semantics as parse().
+  static bool parse_into(BufReader& r, CPlaneMsg& m,
+                         ParseError* err = nullptr);
 };
 
 }  // namespace rb

@@ -4,16 +4,23 @@ namespace rb {
 
 std::optional<FhFrame> parse_frame(std::span<const std::uint8_t> frame,
                                    const FhContext& ctx, ParseError* err) {
+  FhFrame f;
+  if (!parse_frame_into(frame, ctx, f, err)) return std::nullopt;
+  return f;
+}
+
+bool parse_frame_into(std::span<const std::uint8_t> frame,
+                      const FhContext& ctx, FhFrame& out, ParseError* err) {
   const auto fail = [&](ParseError e) {
     if (err) *err = e;
-    return std::nullopt;
+    return false;
   };
   BufReader r(frame);
   auto eth = EthHeader::parse(r);
   if (!eth) return fail(ParseError::TruncatedEth);
   if (eth->ethertype != kEtherTypeEcpri) return fail(ParseError::NotEcpri);
   auto ec = EcpriHeader::parse(r, err);
-  if (!ec) return std::nullopt;  // err already set
+  if (!ec) return false;  // err already set
 
   // Restrict the reader to the eCPRI payload so trailing padding (Ethernet
   // minimum frame size) is not misparsed as sections.
@@ -25,21 +32,21 @@ std::optional<FhFrame> parse_frame(std::span<const std::uint8_t> frame,
     return fail(ParseError::PayloadOverrun);
   BufReader app(frame.subspan(payload_at, app_len));
 
-  FhFrame f;
-  f.eth = *eth;
-  f.ecpri = *ec;
+  out.eth = *eth;
+  out.ecpri = *ec;
   if (ec->msg_type == EcpriMsgType::RtControl) {
-    auto c = CPlaneMsg::parse(app, err);
-    if (!c) return std::nullopt;
-    f.msg = std::move(*c);
-  } else if (ec->msg_type == EcpriMsgType::IqData) {
-    auto u = parse_uplane(app, ctx, payload_at, err);
-    if (!u) return std::nullopt;
-    f.msg = std::move(*u);
-  } else {
-    return fail(ParseError::UnknownEcpriType);
+    // Reuse the variant's current alternative when the kind matches, so
+    // its section vector keeps its capacity.
+    CPlaneMsg* c = std::get_if<CPlaneMsg>(&out.msg);
+    if (!c) c = &out.msg.emplace<CPlaneMsg>();
+    return CPlaneMsg::parse_into(app, *c, err);
   }
-  return f;
+  if (ec->msg_type == EcpriMsgType::IqData) {
+    UPlaneMsg* u = std::get_if<UPlaneMsg>(&out.msg);
+    if (!u) u = &out.msg.emplace<UPlaneMsg>();
+    return parse_uplane_into(app, ctx, payload_at, *u, err);
+  }
+  return fail(ParseError::UnknownEcpriType);
 }
 
 std::size_t build_cplane_frame(std::span<std::uint8_t> buf,

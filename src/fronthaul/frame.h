@@ -44,6 +44,14 @@ std::optional<FhFrame> parse_frame(std::span<const std::uint8_t> frame,
                                    const FhContext& ctx,
                                    ParseError* err = nullptr);
 
+/// Parse into a reused FhFrame: the section vectors keep their capacity
+/// across calls, so a steady-state parse of uniform traffic touches no
+/// heap. Same accept/reject semantics as parse_frame(); on reject `out`
+/// holds unspecified (but valid) contents.
+bool parse_frame_into(std::span<const std::uint8_t> frame,
+                      const FhContext& ctx, FhFrame& out,
+                      ParseError* err = nullptr);
+
 /// Build a complete C-plane frame into `buf`; returns the frame length or
 /// 0 if the buffer is too small.
 std::size_t build_cplane_frame(std::span<std::uint8_t> buf,

@@ -97,11 +97,20 @@ std::vector<std::vector<USectionData>> split_sections_for_mtu(
 std::optional<UPlaneMsg> parse_uplane(BufReader& r, const FhContext& ctx,
                                       std::size_t base_offset,
                                       ParseError* err) {
+  UPlaneMsg m;
+  if (!parse_uplane_into(r, ctx, base_offset, m, err)) return std::nullopt;
+  return m;
+}
+
+bool parse_uplane_into(BufReader& r, const FhContext& ctx,
+                       std::size_t base_offset, UPlaneMsg& m,
+                       ParseError* err) {
   const auto fail = [&](ParseError e) {
     if (err) *err = e;
-    return std::nullopt;
+    return false;
   };
-  UPlaneMsg m;
+  // `m` may be a reused message: every header field is assigned below.
+  m.sections.clear();
   std::uint8_t b0 = r.u8();
   m.direction = (b0 & 0x80) ? Direction::Downlink : Direction::Uplink;
   m.payload_version = std::uint8_t((b0 >> 4) & 0x7);
@@ -143,7 +152,7 @@ std::optional<UPlaneMsg> parse_uplane(BufReader& r, const FhContext& ctx,
     r.skip(s.payload_len);
     m.sections.push_back(s);
   }
-  return m;
+  return true;
 }
 
 }  // namespace rb

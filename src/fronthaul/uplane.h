@@ -74,6 +74,12 @@ std::optional<UPlaneMsg> parse_uplane(BufReader& r, const FhContext& ctx,
                                       std::size_t base_offset,
                                       ParseError* err = nullptr);
 
+/// Parse into a reused message (section-vector capacity is kept across
+/// calls - the burst-parse hot path). Same semantics as parse_uplane().
+bool parse_uplane_into(BufReader& r, const FhContext& ctx,
+                       std::size_t base_offset, UPlaneMsg& m,
+                       ParseError* err = nullptr);
+
 /// Fragment a section list across frames so no frame exceeds
 /// `max_frame_bytes` (e.g. wide-mantissa 100 MHz payloads overflow a 9 KB
 /// jumbo frame and must be split, as real stacks do at the MTU). Sections

@@ -8,7 +8,10 @@
 
 #include <immintrin.h>
 
+#include <cstring>
+
 #include "iq/kernels/bitpack.h"
+#include "iq/kernels/noise.h"
 #include "iq/kernels/tiers.h"
 
 namespace rb::iqk {
@@ -61,6 +64,91 @@ std::uint32_t max_magnitude_avx2(const IqSample* s, std::size_t n) {
   return m;
 }
 
+/// Width-9 vector pack: 16 mantissas -> two 72-bit groups (18 bytes).
+/// Adjacent 9-bit fields are funneled pairwise with madd (v_even * 512 +
+/// v_odd fits 18 bits), pairs into 36-bit quarters in the 64-bit lanes,
+/// and the final 72-bit splice crosses the lane boundary in scalar
+/// registers. Bit layout identical to detail::pack_words9.
+inline void pack9_group16(__m256i v, std::uint8_t* out) {
+  v = _mm256_and_si256(v, _mm256_set1_epi16(0x1ff));
+  // p[i] = v[2i] << 9 | v[2i+1], one 18-bit field per 32-bit lane.
+  const __m256i p = _mm256_madd_epi16(
+      v, _mm256_set1_epi32((1 << 16) | 512));  // per pair: v0 * 512 + v1
+  // q[j] = p[2j] << 18 | p[2j+1], one 36-bit field per 64-bit lane.
+  const __m256i lo = _mm256_slli_epi64(
+      _mm256_and_si256(p, _mm256_set1_epi64x(0xffffffff)), 18);
+  const __m256i q = _mm256_or_si256(lo, _mm256_srli_epi64(p, 32));
+  const __m128i qa = _mm256_castsi256_si128(q);
+  const __m128i qb = _mm256_extracti128_si256(q, 1);
+  const std::uint64_t q0 = std::uint64_t(_mm_cvtsi128_si64(qa));
+  const std::uint64_t q1 = std::uint64_t(_mm_extract_epi64(qa, 1));
+  const std::uint64_t q2 = std::uint64_t(_mm_cvtsi128_si64(qb));
+  const std::uint64_t q3 = std::uint64_t(_mm_extract_epi64(qb, 1));
+  const std::uint64_t g0 = __builtin_bswap64((q0 << 28) | (q1 >> 8));
+  std::memcpy(out, &g0, 8);
+  out[8] = std::uint8_t(q1);
+  const std::uint64_t g1 = __builtin_bswap64((q2 << 28) | (q3 >> 8));
+  std::memcpy(out + 9, &g1, 8);
+  out[17] = std::uint8_t(q3);
+}
+
+/// Same funnel for one 72-bit group (8 mantissas) in SSE registers.
+inline void pack9_group8(__m128i v, std::uint8_t* out) {
+  v = _mm_and_si128(v, _mm_set1_epi16(0x1ff));
+  const __m128i p = _mm_madd_epi16(v, _mm_set1_epi32((1 << 16) | 512));
+  const __m128i lo =
+      _mm_slli_epi64(_mm_and_si128(p, _mm_set1_epi64x(0xffffffff)), 18);
+  const __m128i q = _mm_or_si128(lo, _mm_srli_epi64(p, 32));
+  const std::uint64_t q0 = std::uint64_t(_mm_cvtsi128_si64(q));
+  const std::uint64_t q1 = std::uint64_t(_mm_extract_epi64(q, 1));
+  const std::uint64_t g = __builtin_bswap64((q0 << 28) | (q1 >> 8));
+  std::memcpy(out, &g, 8);
+  out[8] = std::uint8_t(q1);
+}
+
+/// One PRB (24 components) at width 9 with the mantissa shift fused in:
+/// no int16 staging array between the shift and the bit pack.
+inline void pack9_prb(const std::int16_t* p, unsigned shift,
+                      std::uint8_t* out) {
+  const __m128i cnt = _mm_cvtsi32_si128(int(shift));
+  const __m256i a =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16));
+  pack9_group16(_mm256_sra_epi16(a, cnt), out);
+  pack9_group8(_mm_sra_epi16(b, cnt), out + 18);
+}
+
+/// Width-9 vector unpack of one 72-bit group. The window shuffle gives
+/// 32-bit lane i the big-endian byte pair (b[i] << 8 | b[i+1]); value i
+/// sits at bit offset i from that pair's MSB, so a per-lane variable
+/// right shift of (7 - i) aligns it. Sign extension matches unpack_words.
+inline __m128i unpack9_group8(const std::uint8_t* in) {
+  const __m128i w = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  const __m256i vb = _mm256_broadcastsi128_si256(w);
+  const __m256i win = _mm256_shuffle_epi8(
+      vb, _mm256_setr_epi8(1, 0, -1, -1, 2, 1, -1, -1, 3, 2, -1, -1, 4, 3,
+                           -1, -1, 5, 4, -1, -1, 6, 5, -1, -1, 7, 6, -1, -1,
+                           8, 7, -1, -1));
+  __m256i x = _mm256_srlv_epi32(win, _mm256_setr_epi32(7, 6, 5, 4, 3, 2, 1, 0));
+  x = _mm256_and_si256(x, _mm256_set1_epi32(0x1ff));
+  const __m256i sign = _mm256_set1_epi32(0x100);
+  x = _mm256_sub_epi32(_mm256_xor_si256(x, sign), sign);
+  return _mm_packs_epi32(_mm256_castsi256_si128(x),
+                         _mm256_extracti128_si256(x, 1));
+}
+
+/// One PRB (27 bytes) at width 9 into 24 int16 mantissas. The 16-byte
+/// window loads would over-read past the third group, so the PRB is
+/// staged through a padded local buffer first.
+inline void unpack9_prb(const std::uint8_t* in, std::int16_t* m) {
+  alignas(32) std::uint8_t buf[34];
+  std::memcpy(buf, in, 27);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(m), unpack9_group8(buf));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(m + 8), unpack9_group8(buf + 9));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(m + 16),
+                   unpack9_group8(buf + 18));
+}
+
 /// (v >> shift) for one PRB's 24 int16 components.
 inline void mantissas24(const std::int16_t* p, unsigned shift,
                         std::int16_t* out24) {
@@ -80,6 +168,13 @@ void pack_mantissas_avx2(const IqSample* s, std::size_t n, int width,
   alignas(32) std::int16_t m[24];
   std::size_t rem = n;
   while (rem >= 12) {
+    if (width == 9) {  // BFP default width: fully vectorized, shift fused
+      pack9_prb(p, shift, out);
+      out += 27;
+      p += 24;
+      rem -= 12;
+      continue;
+    }
     mantissas24(p, shift, m);
     switch (width) {
       case 8:
@@ -132,6 +227,16 @@ void unpack_mantissas_avx2(const std::uint8_t* in, std::size_t n, int width,
   alignas(32) std::int16_t m[24];
   std::size_t rem = n;
   while (rem >= 12) {
+    if (width == 9) {
+      unpack9_prb(in, m);
+      in += 27;
+      shift_sat8(m, shift, o);
+      shift_sat8(m + 8, shift, o + 8);
+      shift_sat8(m + 16, shift, o + 16);
+      o += 24;
+      rem -= 12;
+      continue;
+    }
     switch (width) {
       case 8: {
         const __m128i b0 =
@@ -188,6 +293,55 @@ void accumulate_sat_avx2(IqSample* dst, const IqSample* src, std::size_t n) {
   for (; k < len; ++k) d[k] = sat16(std::int32_t(d[k]) + s[k]);
 }
 
+/// Unsigned 32-bit x/d via the shared 2^32 reciprocal, 8 lanes. Exact
+/// for x < 2^16 (see kernels/noise.h); both mul_epu32 halves share one
+/// broadcast multiplier.
+inline __m256i div_u16_by_magic(__m256i x, __m256i vm) {
+  const __m256i pe = _mm256_mul_epu32(x, vm);
+  const __m256i po = _mm256_mul_epu32(_mm256_srli_epi64(x, 32), vm);
+  return _mm256_blend_epi32(
+      _mm256_srli_epi64(pe, 32),
+      _mm256_and_si256(po, _mm256_set1_epi64x(std::int64_t(0xffffffff00000000))),
+      0xaa);
+}
+
+void synth_noise_prb_avx2(std::uint32_t* rng, std::int32_t a,
+                          IqSample* out) {
+  const std::uint32_t r0 = *rng;
+  *rng = kLcgJump.mul[kPrbDraws - 1] * r0 + kLcgJump.add[kPrbDraws - 1];
+  const __m256i vr0 = _mm256_set1_epi32(std::int32_t(r0));
+  const __m256i va = _mm256_set1_epi32(a);
+  const std::uint32_t d = std::uint32_t(2 * a + 1);
+  __m256i res[3];
+  for (int g = 0; g < 3; ++g) {
+    const __m256i mul = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(kLcgJump.mul + 8 * g));
+    const __m256i add = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(kLcgJump.add + 8 * g));
+    const __m256i draw =
+        _mm256_add_epi32(_mm256_mullo_epi32(mul, vr0), add);
+    const __m256i x = _mm256_srli_epi32(draw, 16);
+    res[g] = x;
+  }
+  if (d <= 0xffffu) {
+    const __m256i vm = _mm256_set1_epi32(
+        std::int32_t((std::uint64_t(1) << 32) / d + 1));
+    const __m256i vd = _mm256_set1_epi32(std::int32_t(d));
+    for (auto& x : res) {
+      const __m256i q = div_u16_by_magic(x, vm);
+      x = _mm256_sub_epi32(x, _mm256_mullo_epi32(q, vd));
+    }
+  }
+  for (auto& x : res) x = _mm256_sub_epi32(x, va);
+  // 24 int32 -> 24 saturated int16 components in draw order.
+  const __m256i p01 = _mm256_permute4x64_epi64(
+      _mm256_packs_epi32(res[0], res[1]), 0xd8);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), p01);
+  const __m128i p2 = _mm_packs_epi32(_mm256_castsi256_si128(res[2]),
+                                     _mm256_extracti128_si256(res[2], 1));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 8), p2);
+}
+
 /// Both CompMethod::None directions are the same u16 byte swap.
 inline void bswap16_stream(std::uint8_t* dst, const std::uint8_t* src,
                            std::size_t bytes) {
@@ -212,9 +366,9 @@ void unpack_none_avx2(const std::uint8_t* in, std::size_t n, IqSample* out) {
 }
 
 constexpr IqKernelOps kAvx2Ops{
-    KernelTier::Avx2,      max_magnitude_avx2, pack_mantissas_avx2,
+    KernelTier::Avx2,      max_magnitude_avx2,  pack_mantissas_avx2,
     unpack_mantissas_avx2, accumulate_sat_avx2, pack_none_avx2,
-    unpack_none_avx2,
+    unpack_none_avx2,      synth_noise_prb_avx2,
 };
 
 }  // namespace

@@ -68,6 +68,12 @@ struct IqKernelOps {
   /// (4 bytes/sample). Buffers must hold n samples / 4*n bytes.
   void (*pack_none)(const IqSample* s, std::size_t n, std::uint8_t* out);
   void (*unpack_none)(const std::uint8_t* in, std::size_t n, IqSample* out);
+
+  /// Test-model noise synthesis: one PRB (kScPerPrb samples) of uniform
+  /// noise in [-a, a] drawn from the shared 32-bit LCG; advances *rng by
+  /// 2*kScPerPrb steps. Draw-for-draw identical to the reference in
+  /// kernels/noise.h (the RNG sequence is checkpointed RU state).
+  void (*synth_noise_prb)(std::uint32_t* rng, std::int32_t a, IqSample* out);
 };
 
 /// The active kernel table. First call selects a tier (env override, then

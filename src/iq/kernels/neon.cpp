@@ -11,6 +11,7 @@
 #include <arm_neon.h>
 
 #include "iq/kernels/bitpack.h"
+#include "iq/kernels/noise.h"
 #include "iq/kernels/tiers.h"
 
 namespace rb::iqk {
@@ -127,10 +128,15 @@ void unpack_none_neon(const std::uint8_t* in, std::size_t n, IqSample* out) {
   bswap16_stream(reinterpret_cast<std::uint8_t*>(out), in, 4 * n);
 }
 
+void synth_noise_prb_neon(std::uint32_t* rng, std::int32_t a,
+                          IqSample* out) {
+  synth_noise_prb_ref(rng, a, out);
+}
+
 constexpr IqKernelOps kNeonOps{
     KernelTier::Neon,      max_magnitude_neon,  pack_mantissas_neon,
     unpack_mantissas_neon, accumulate_sat_neon, pack_none_neon,
-    unpack_none_neon,
+    unpack_none_neon,      synth_noise_prb_neon,
 };
 
 }  // namespace

@@ -1,0 +1,75 @@
+// Shared reference for the test-model noise synthesis kernel.
+//
+// The RU/DU models fill uplink PRBs with uniform noise drawn from a
+// 32-bit LCG (r <- r * 1664525 + 1013904223). The draw sequence is part
+// of checkpointed state, so every tier must advance the RNG and map draws
+// to samples exactly like this reference. Two standard hoists make the
+// loop SIMD-friendly without changing a single draw:
+//
+//  - Jump-ahead: after j+1 LCG steps, r == kLcgJump.mul[j]*r0 +
+//    kLcgJump.add[j] (mod 2^32), so all 24 draws of a PRB are independent
+//    mul-adds on r0 instead of a 24-deep dependency chain.
+//  - Reciprocal modulo: each component is int32(draw >> 16) % d - a with
+//    d = 2a+1. For odd d in [3, 65535], m = floor(2^32/d) + 1 gives
+//    q = (x*m) >> 32 == x/d exactly for every x < 2^16 (Granlund &
+//    Montgomery: the magic error e = m*d - 2^32 <= d, and e*x < 2^32).
+//    For d > 65535 the 16-bit draw is already smaller than d.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "iq/iq.h"
+
+namespace rb::iqk {
+
+inline constexpr std::size_t kPrbDraws = 2 * kScPerPrb;  // I+Q per SC
+
+struct LcgJump {
+  std::uint32_t mul[kPrbDraws];
+  std::uint32_t add[kPrbDraws];
+};
+constexpr LcgJump make_lcg_jump() {
+  LcgJump t{};
+  std::uint32_t a = 1, c = 0;
+  for (std::size_t j = 0; j < kPrbDraws; ++j) {
+    // Compose one more step: r_{j+1} = A*(a*r0 + c) + C.
+    a = 1664525u * a;
+    c = 1664525u * c + 1013904223u;
+    t.mul[j] = a;
+    t.add[j] = c;
+  }
+  return t;
+}
+inline constexpr LcgJump kLcgJump = make_lcg_jump();
+
+/// One PRB (kScPerPrb samples) of uniform noise in [-a, a]; advances
+/// *rng by kPrbDraws LCG steps. The scalar reference all tiers match.
+inline void synth_noise_prb_ref(std::uint32_t* rng, std::int32_t a,
+                                IqSample* out) {
+  std::uint32_t draws[kPrbDraws];
+  const std::uint32_t r0 = *rng;
+  for (std::size_t j = 0; j < kPrbDraws; ++j)
+    draws[j] = kLcgJump.mul[j] * r0 + kLcgJump.add[j];
+  *rng = draws[kPrbDraws - 1];
+
+  const std::uint32_t d = std::uint32_t(2 * a + 1);
+  if (d > 0xffffu) {
+    for (int k = 0; k < kScPerPrb; ++k) {
+      out[k].i = sat16(std::int32_t(draws[2 * k] >> 16) - a);
+      out[k].q = sat16(std::int32_t(draws[2 * k + 1] >> 16) - a);
+    }
+    return;
+  }
+  const std::uint64_t m = (std::uint64_t(1) << 32) / d + 1;
+  const auto rem = [m, d](std::uint32_t x) {
+    const std::uint32_t q = std::uint32_t((x * m) >> 32);
+    return std::int32_t(x - q * d);
+  };
+  for (int k = 0; k < kScPerPrb; ++k) {
+    out[k].i = sat16(rem(draws[2 * k] >> 16) - a);
+    out[k].q = sat16(rem(draws[2 * k + 1] >> 16) - a);
+  }
+}
+
+}  // namespace rb::iqk

@@ -4,6 +4,7 @@
 // original codec (and keeps working for any width 2..16).
 #include "common/bytes.h"
 #include "iq/kernels/bitpack.h"
+#include "iq/kernels/noise.h"
 #include "iq/kernels/tiers.h"
 
 namespace rb::iqk {
@@ -74,10 +75,15 @@ void unpack_none_scalar(const std::uint8_t* in, std::size_t n,
   }
 }
 
+void synth_noise_prb_scalar(std::uint32_t* rng, std::int32_t a,
+                            IqSample* out) {
+  synth_noise_prb_ref(rng, a, out);
+}
+
 constexpr IqKernelOps kScalarOps{
     KernelTier::Scalar,       max_magnitude_scalar, pack_mantissas_scalar,
     unpack_mantissas_scalar,  accumulate_sat_scalar, pack_none_scalar,
-    unpack_none_scalar,
+    unpack_none_scalar,       synth_noise_prb_scalar,
 };
 
 }  // namespace

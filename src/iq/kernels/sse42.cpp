@@ -5,8 +5,10 @@
 #if defined(__x86_64__) || defined(__i386__)
 
 #include <nmmintrin.h>
+#include <smmintrin.h>
 
 #include "iq/kernels/bitpack.h"
+#include "iq/kernels/noise.h"
 #include "iq/kernels/tiers.h"
 
 namespace rb::iqk {
@@ -189,10 +191,51 @@ void unpack_none_sse42(const std::uint8_t* in, std::size_t n, IqSample* out) {
   bswap16_stream(reinterpret_cast<std::uint8_t*>(out), in, 4 * n);
 }
 
+/// Unsigned 32-bit x/d via the 2^32 reciprocal, 4 lanes (exact for
+/// x < 2^16, see kernels/noise.h). blend_epi16 0xcc keeps the odd
+/// 32-bit lanes of the odd-product, where their quotients already sit.
+inline __m128i div_u16_by_magic(__m128i x, __m128i vm) {
+  const __m128i pe = _mm_mul_epu32(x, vm);
+  const __m128i po = _mm_mul_epu32(_mm_srli_epi64(x, 32), vm);
+  return _mm_blend_epi16(_mm_srli_epi64(pe, 32), po, 0xcc);
+}
+
+void synth_noise_prb_sse42(std::uint32_t* rng, std::int32_t a,
+                           IqSample* out) {
+  const std::uint32_t r0 = *rng;
+  *rng = kLcgJump.mul[kPrbDraws - 1] * r0 + kLcgJump.add[kPrbDraws - 1];
+  const __m128i vr0 = _mm_set1_epi32(std::int32_t(r0));
+  const __m128i va = _mm_set1_epi32(a);
+  const std::uint32_t d = std::uint32_t(2 * a + 1);
+  __m128i res[6];
+  for (int g = 0; g < 6; ++g) {
+    const __m128i mul = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(kLcgJump.mul + 4 * g));
+    const __m128i add = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(kLcgJump.add + 4 * g));
+    const __m128i draw = _mm_add_epi32(_mm_mullo_epi32(mul, vr0), add);
+    res[g] = _mm_srli_epi32(draw, 16);
+  }
+  if (d <= 0xffffu) {
+    const __m128i vm =
+        _mm_set1_epi32(std::int32_t((std::uint64_t(1) << 32) / d + 1));
+    const __m128i vd = _mm_set1_epi32(std::int32_t(d));
+    for (auto& x : res) {
+      const __m128i q = div_u16_by_magic(x, vm);
+      x = _mm_sub_epi32(x, _mm_mullo_epi32(q, vd));
+    }
+  }
+  for (auto& x : res) x = _mm_sub_epi32(x, va);
+  std::int16_t* o = reinterpret_cast<std::int16_t*>(out);
+  for (int g = 0; g < 3; ++g)
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(o + 8 * g),
+                     _mm_packs_epi32(res[2 * g], res[2 * g + 1]));
+}
+
 constexpr IqKernelOps kSse42Ops{
     KernelTier::Sse42,      max_magnitude_sse42,  pack_mantissas_sse42,
     unpack_mantissas_sse42, accumulate_sat_sse42, pack_none_sse42,
-    unpack_none_sse42,
+    unpack_none_sse42,      synth_noise_prb_sse42,
 };
 
 }  // namespace

@@ -8,11 +8,17 @@ namespace rb {
 
 void PrbMonitorMiddlebox::on_frame(int in_port, PacketPtr p, FhFrame& frame,
                                    MbContext& ctx) {
-  if (frame.is_uplane() && frame.ecpri.eaxc.du_port == 0 &&
-      frame.ecpri.eaxc.ru_port == 0) {
+  // Gate on the burst classify-table row when available: plane, PRACH and
+  // antenna-port facts without touching the frame variant.
+  const FrameInfo* fi = ctx.frame_info();
+  const bool grid_sample =
+      fi ? (!fi->cplane && !fi->prach && fi->eaxc.ru_port == 0)
+         : (frame.is_uplane() && frame.ecpri.eaxc.du_port == 0 &&
+            frame.ecpri.eaxc.ru_port == 0);
+  if (grid_sample) {
     // Algorithm 1 over antenna port 0 (one spatial sample of the grid).
     const auto& u = frame.uplane();
-    const bool dl = u.direction == Direction::Downlink;
+    const bool dl = fi ? !fi->uplink : u.direction == Direction::Downlink;
     const std::uint8_t thr = dl ? cfg_.thr_dl : cfg_.thr_ul;
     // PRBs outside any section were never transported: idle by definition.
     // The per-PRB exponent reads are deliberately untraced (hundreds per

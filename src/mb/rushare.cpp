@@ -122,16 +122,24 @@ bool RuShareMiddlebox::copy_slice(MbContext& ctx,
 
 void RuShareMiddlebox::on_frame(int in_port, PacketPtr p, FhFrame& frame,
                                 MbContext& ctx) {
+  // Branch on the burst classify-table row: plane/PRACH/type-3 facts were
+  // computed once in the parse pass instead of re-probing the variant.
+  const FrameInfo* fi = ctx.frame_info();
+  const bool cplane = fi ? fi->cplane : frame.is_cplane();
+  const bool prach = fi ? fi->prach : frame.ecpri.eaxc.du_port != 0;
+  const bool type3 =
+      fi ? fi->type3
+         : (cplane && frame.cplane().section_type == SectionType::Type3);
   if (quarantine(in_port, frame, ctx)) {
     ctx.drop(std::move(p));
     return;
   }
   if (in_port == kSouth) {
-    if (!frame.is_uplane()) {
+    if (cplane) {
       ctx.drop(std::move(p));  // the RU never originates C-plane
       return;
     }
-    if (frame.ecpri.eaxc.du_port != 0)
+    if (prach)
       ru_prach_uplane(std::move(p), frame, ctx);
     else
       ru_uplane(std::move(p), frame, ctx);
@@ -142,8 +150,8 @@ void RuShareMiddlebox::on_frame(int in_port, PacketPtr p, FhFrame& frame,
     ctx.drop(std::move(p));
     return;
   }
-  if (frame.is_cplane()) {
-    if (frame.cplane().section_type == SectionType::Type3)
+  if (cplane) {
+    if (type3)
       du_prach_cplane(du, std::move(p), frame, ctx);
     else
       du_cplane(du, std::move(p), frame, ctx);

@@ -53,6 +53,10 @@ class Driver {
       : port_(&port), costs_(costs) {}
   virtual ~Driver() = default;
 
+  /// Descriptor-ring size of one rx poll: the DPDK burst idiom the
+  /// middlebox pump is built around (paper's Fig 16 baseline).
+  static constexpr std::size_t kRxBurst = 32;
+
   /// Fetch pending packets; charges rx costs to the meter.
   std::size_t rx_burst(std::vector<PacketPtr>& out, std::size_t max = 64) {
     const std::size_t before = out.size();
@@ -61,6 +65,23 @@ class Driver {
     for (std::size_t i = before; i < out.size(); ++i) bytes += out[i]->len();
     charge_rx(n, bytes);
     return n;
+  }
+
+  /// Drain the whole rx queue in kRxBurst-packet bursts, appending to
+  /// `out`. Cost-equivalent to calling rx_burst(out, kRxBurst) until it
+  /// returns 0: each burst is charged separately, so the IRQ model still
+  /// sees one interrupt per descriptor-ring sweep.
+  std::size_t rx_drain(std::vector<PacketPtr>& out) {
+    std::size_t total = 0;
+    for (;;) {
+      const std::size_t before = out.size();
+      const std::size_t n = port_->rx_burst(out, kRxBurst);
+      std::size_t bytes = 0;
+      for (std::size_t i = before; i < out.size(); ++i) bytes += out[i]->len();
+      charge_rx(n, bytes);
+      if (n == 0) return total;
+      total += n;
+    }
   }
 
   bool tx(PacketPtr p) { return port_->send(std::move(p)); }

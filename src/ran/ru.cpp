@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "iq/kernels/kernels.h"
+
 namespace rb {
 
 RuModel::RuModel(RuModelConfig cfg, AirModel& air, RuId ru_id, Port& port,
@@ -184,6 +186,10 @@ void RuModel::process_dl(std::int64_t slot, std::int64_t slot_start_ns) {
 
 void RuModel::synth_payload(std::vector<std::uint8_t>& out, int start_prb,
                             int n_prb, std::int64_t slot) {
+  // Noise synthesis is the dispatched kernel (iq/kernels/noise.h holds
+  // the scalar reference); the RNG advance it performs is part of
+  // checkpointed RU state, so every tier matches it draw-for-draw.
+  const IqKernelOps& ops = iq_ops();
   const std::size_t prb_sz = ul_comp_.prb_bytes();
   out.resize(std::size_t(n_prb) * prb_sz);
   PrbSamples samples{};
@@ -191,12 +197,7 @@ void RuModel::synth_payload(std::vector<std::uint8_t>& out, int start_prb,
     const double amp = air_->ul_rx_amplitude(ru_id_, slot, start_prb + k);
     const double peak = amp * 1.732;
     const std::int32_t a = std::max<std::int32_t>(1, std::int32_t(peak));
-    for (auto& s : samples) {
-      rng_ = rng_ * 1664525u + 1013904223u;
-      s.i = sat16(std::int32_t(rng_ >> 16) % (2 * a + 1) - a);
-      rng_ = rng_ * 1664525u + 1013904223u;
-      s.q = sat16(std::int32_t(rng_ >> 16) % (2 * a + 1) - a);
-    }
+    ops.synth_noise_prb(&rng_, a, samples.data());
     bfp_compress_prb(IqConstSpan(samples.data(), samples.size()),
                      ul_comp_.iq_width,
                      std::span(out).subspan(std::size_t(k) * prb_sz));
@@ -283,12 +284,7 @@ void RuModel::emit_ul(std::int64_t slot, std::int64_t slot_start_ns) {
         }
         const double peak = amp * 1.732;
         const std::int32_t a = std::max<std::int32_t>(1, std::int32_t(peak));
-        for (auto& s : samples) {
-          rng_ = rng_ * 1664525u + 1013904223u;
-          s.i = sat16(std::int32_t(rng_ >> 16) % (2 * a + 1) - a);
-          rng_ = rng_ * 1664525u + 1013904223u;
-          s.q = sat16(std::int32_t(rng_ >> 16) % (2 * a + 1) - a);
-        }
+        iq_ops().synth_noise_prb(&rng_, a, samples.data());
         bfp_compress_prb(IqConstSpan(samples.data(), samples.size()),
                          cfg_.fh.comp.iq_width,
                          std::span(payload).subspan(std::size_t(k) * prb_sz));

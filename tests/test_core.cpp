@@ -172,6 +172,38 @@ TEST(Runtime, DpdkUtilizationAlwaysFull) {
   EXPECT_DOUBLE_EQ(rig.rt.cpu_utilization(123456), 1.0);
 }
 
+TEST(Runtime, BurstHistogramsTrackPumpShape) {
+  RuntimeRig rig;
+  // A 1-packet straggler pump: one chunk of occupancy 1.
+  rig.in_ext.send(rig.make_cplane_packet(10));
+  ASSERT_TRUE(rig.rt.pump(0, 0));
+  EXPECT_EQ(rig.rt.burst_size_hist().count, 1u);
+  EXPECT_EQ(rig.rt.burst_size_hist().bucket[0], 1u);  // le=1
+  EXPECT_EQ(rig.rt.burst_occupancy_hist().bucket[0], 1u);
+
+  // 33 packets across both ports in one pump: one full 32-slot chunk
+  // plus a 1-packet tail chunk, mixed-port and out of arrival order.
+  for (int i = 0; i < 33; ++i) {
+    auto p = rig.make_cplane_packet(1000 - i);
+    (i % 2 ? rig.out_ext : rig.in_ext).send(std::move(p));
+  }
+  ASSERT_TRUE(rig.rt.pump(0, 0));
+  const auto& size = rig.rt.burst_size_hist();
+  EXPECT_EQ(size.count, 2u);
+  EXPECT_EQ(size.sum, 34u);
+  EXPECT_EQ(size.count - size.bucket[5], 1u);  // the >32 drain
+  const auto& occ = rig.rt.burst_occupancy_hist();
+  EXPECT_EQ(occ.count, 3u);
+  EXPECT_EQ(occ.sum, 34u);
+  EXPECT_EQ(occ.bucket[0], 2u);                   // two 1-packet chunks
+  EXPECT_EQ(occ.bucket[5] - occ.bucket[4], 1u);   // one full 32 chunk
+
+  // Idle pumps are not recorded: the histograms describe productive
+  // drains only.
+  EXPECT_FALSE(rig.rt.pump(0, 0));
+  EXPECT_EQ(rig.rt.burst_size_hist().count, 2u);
+}
+
 TEST(Runtime, NonFronthaulGoesToOnOther) {
   RuntimeRig rig;
   auto p = PacketPool::default_pool().alloc();
