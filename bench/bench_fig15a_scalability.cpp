@@ -1,17 +1,27 @@
 // Figure 15a: DPDK DAS middlebox scalability with the number of RUs at
 // 100 MHz - egress/ingress fronthaul traffic (linear in RUs) and the CPU
 // cores needed to keep the uplink merge inside the slot deadline (1 core
-// up to 4 RUs, 2 cores beyond).
+// up to 4 RUs, 2 cores beyond). Emits BENCH_fig15a_scalability.json and,
+// when BENCH_city_scale.json is present, cross-checks its single-engine
+// slot rate against the city conductor at cells=1.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "bench_util.h"
 
 namespace rb::bench {
 namespace {
 
 struct RunStats {
+  int rus = 0;
   double egress_gbps = 0;
   double ingress_gbps = 0;
+  int cores = 0;
   std::uint64_t late_drops = 0;
   double ul_mbps = 0;
+  double slots_per_s = 0;
 };
 
 RunStats run_das(int n_rus, int workers) {
@@ -38,10 +48,13 @@ RunStats run_das(int n_rus, int workers) {
   const std::uint64_t rx0 = south.stats().rx_bytes + north.stats().rx_bytes;
   const std::uint64_t late0 = du.du->stats().late_drops;
   const std::int64_t t0 = d.engine.elapsed_ns();
+  const auto w0 = std::chrono::steady_clock::now();
   d.measure(400);
+  const auto w1 = std::chrono::steady_clock::now();
   const double secs = double(d.engine.elapsed_ns() - t0) / 1e9;
 
   RunStats st;
+  st.rus = n_rus;
   st.egress_gbps =
       double(south.stats().tx_bytes + north.stats().tx_bytes - tx0) * 8.0 /
       secs / 1e9;
@@ -50,7 +63,27 @@ RunStats run_das(int n_rus, int workers) {
       secs / 1e9;
   st.late_drops = du.du->stats().late_drops - late0;
   st.ul_mbps = d.ul_mbps(ue);
+  st.slots_per_s =
+      400.0 / std::chrono::duration<double>(w1 - w0).count();
   return st;
+}
+
+/// Pull `"slots_per_s": <x>` of the cells=1 run out of
+/// BENCH_city_scale.json, with a deliberately narrow parser (the file is
+/// our own bench's output). Returns 0 when absent.
+double city_single_cell_rate() {
+  std::FILE* f = std::fopen("BENCH_city_scale.json", "r");
+  if (!f) return 0.0;
+  std::string text;
+  char buf[512];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  const std::size_t at = text.find("\"cells\": 1,");
+  if (at == std::string::npos) return 0.0;
+  const std::size_t key = text.find("\"slots_per_s\": ", at);
+  if (key == std::string::npos) return 0.0;
+  return std::strtod(text.c_str() + key + 15, nullptr);
 }
 
 }  // namespace
@@ -61,25 +94,58 @@ int main() {
   header("Figure 15a - DAS scalability: fronthaul traffic and CPU cores vs "
          "number of RUs",
          "SIGCOMM'25 RANBooster section 6.4.1, Figure 15a");
-  row("%5s %14s %14s %8s %12s %10s", "RUs", "egress Gbps", "ingress Gbps",
-      "cores", "late drops", "UL Mbps");
+  row("%5s %14s %14s %8s %12s %10s %10s", "RUs", "egress Gbps",
+      "ingress Gbps", "cores", "late drops", "UL Mbps", "slots/s");
+  std::vector<RunStats> results;
   for (int n = 2; n <= 6; ++n) {
     // Find the minimum worker count that keeps the uplink loss-free.
-    int cores = 0;
     RunStats st{};
     for (int w = 1; w <= 3; ++w) {
       st = run_das(n, w);
       if (st.late_drops == 0 && st.ul_mbps > 50.0) {
-        cores = w;
+        st.cores = w;
         break;
       }
     }
-    if (cores == 0) cores = 3;
-    row("%5d %14.2f %14.2f %8d %12llu %10.1f", n, st.egress_gbps,
-        st.ingress_gbps, cores, (unsigned long long)st.late_drops,
-        st.ul_mbps);
+    if (st.cores == 0) st.cores = 3;
+    row("%5d %14.2f %14.2f %8d %12llu %10.1f %10.1f", n, st.egress_gbps,
+        st.ingress_gbps, st.cores, (unsigned long long)st.late_drops,
+        st.ul_mbps, st.slots_per_s);
+    results.push_back(st);
   }
   row("paper shape: traffic linear in RUs; 1 core suffices up to 4 RUs, "
       "2 cores beyond");
+
+  std::FILE* f = std::fopen("BENCH_fig15a_scalability.json", "w");
+  if (f) {
+    std::fprintf(f, "{\n  \"runs\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::fprintf(f,
+                   "    {\"rus\": %d, \"egress_gbps\": %.2f, "
+                   "\"ingress_gbps\": %.2f, \"cores\": %d, "
+                   "\"late_drops\": %llu, \"ul_mbps\": %.1f, "
+                   "\"slots_per_s\": %.1f}%s\n",
+                   r.rus, r.egress_gbps, r.ingress_gbps, r.cores,
+                   (unsigned long long)r.late_drops, r.ul_mbps,
+                   r.slots_per_s, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    row("wrote BENCH_fig15a_scalability.json");
+  }
+
+  // Cross-check against the city conductor at cells=1 (run
+  // bench_city_scale first; perf-smoke does). The rigs differ - 4-RU DAS
+  // here vs single-RU prbmon there - so this is a sanity ratio, not a
+  // gate: both are one SlotEngine, so they must sit within an order of
+  // magnitude.
+  const double city = city_single_cell_rate();
+  if (city > 0.0 && !results.empty()) {
+    const double ratio = results.front().slots_per_s / city;
+    row("cross-check: 2-RU DAS %.1f slots/s vs city cells=1 %.1f slots/s "
+        "(ratio %.2f)",
+        results.front().slots_per_s, city, ratio);
+  }
   return 0;
 }

@@ -1,0 +1,232 @@
+// CityBuilder: stamp per-cell deployments from one template over the
+// campus grid, plus the cross-shard neutral-host share (DESIGN.md 4j).
+#include <stdexcept>
+
+#include "city/city.h"
+#include "exec/shard.h"
+#include "ran/vendor.h"
+
+namespace rb::city {
+namespace {
+
+/// PCI of the neutral-host guest cell — outside the 1..n_cells range the
+/// local cells use, so pci-locked UEs never cross-attach.
+constexpr int kGuestPci = 999;
+/// PRB offsets of the host / guest 40 MHz slices in the shared 100 MHz
+/// RU grid (the Appendix A.1.1 aligned-grid layout the RU-share e2e test
+/// uses: 106-PRB tenants at offsets 10 and 150 of 273 PRBs).
+constexpr int kHostOffset = 10;
+constexpr int kGuestOffset = 150;
+
+std::uint64_t ru_flow_key(RuId id) {
+  return exec::flow_key(std::uint32_t(id), 0);
+}
+
+/// Mild seeded fault cocktail for one cell's DU-side fronthaul link:
+/// light enough that attach still succeeds through it, busy enough that
+/// a 2000-slot soak exercises loss, jitter and duplication paths.
+void add_cell_faults(Deployment& d, Port& near, std::uint64_t seed,
+                     FaultyLink** out) {
+  FaultPlan tx;  // DU -> RU: light i.i.d. loss + jitter
+  tx.loss = 0.005;
+  tx.jitter_ns = 10'000;
+  tx.seed = seed ^ 0xa1;
+  FaultPlan rx;  // RU -> DU: duplication + a little loss
+  rx.loss = 0.003;
+  rx.duplicate = 0.005;
+  rx.seed = seed ^ 0xb2;
+  *out = &d.add_fault(near, tx, rx);
+}
+
+}  // namespace
+
+std::unique_ptr<City> build_city(const CityConfig& cfg) {
+  if (cfg.neutral_host && cfg.n_cells < 2)
+    throw std::runtime_error("build_city: neutral_host needs n_cells >= 2");
+  auto city = std::make_unique<City>(cfg.workers, cfg.scs);
+  const VendorProfile vendor = srsran_profile();
+  const Hertz shared_center = GHz(3) + MHz(460);
+  const int shared_prbs = prbs_for_bandwidth(MHz(100), cfg.scs);
+  const int cell_prbs = prbs_for_bandwidth(MHz(40), cfg.scs);
+
+  Deployment* host_dep = nullptr;
+  Deployment::DuHandle host_du{};
+  Deployment::RuHandle shared_ru{};
+
+  for (int i = 0; i < cfg.n_cells; ++i) {
+    City::CellShard& shard = city->add_cell("c" + std::to_string(i));
+    Deployment& d = *shard.dep;
+    const bool is_host = cfg.neutral_host && i == 0;
+
+    CellConfig cell;
+    cell.pci = std::uint16_t(i + 1);
+    cell.bandwidth = MHz(40);
+    if (is_host)
+      // The host cell is tenant 0 of the shared 100 MHz grid.
+      cell.center_freq = aligned_du_center_frequency(
+          shared_center, shared_prbs, cell_prbs, kHostOffset, cfg.scs);
+    Deployment::DuHandle du = d.add_du(cell, vendor, std::uint8_t(i));
+
+    RuSite site;
+    site.pos = cfg.campus.ru_position(i, 0, 1);
+    site.n_antennas = 4;
+    site.center_freq = is_host ? shared_center : cell.center_freq;
+    site.bandwidth = is_host ? MHz(100) : MHz(40);
+    Deployment::RuHandle ru = d.add_ru(site, std::uint8_t(i), du.du->fh());
+
+    MiddleboxRuntime* rt = nullptr;
+    if (is_host) {
+      // Wired below, once the guest DU exists (the RU-share runtime needs
+      // both tenants at construction).
+      host_dep = &d;
+      host_du = du;
+      shared_ru = ru;
+    } else if (cfg.prbmon) {
+      rt = &d.add_prbmon(du, ru);
+    } else {
+      d.connect_direct(du, ru);
+    }
+
+    for (int k = 0; k < cfg.ues_per_cell; ++k) {
+      const Position pos = cfg.campus.near_ru(i, 0, 1, 2.0 + 1.5 * k);
+      shard.ues.push_back(
+          d.add_ue(pos, &du, cfg.dl_mbps, cfg.ul_mbps, cell.pci));
+    }
+
+    if (cfg.faults && !is_host) {
+      FaultyLink* link = nullptr;
+      add_cell_faults(d, *du.port, cfg.fault_seed + std::uint64_t(i) * 0x9e37,
+                      &link);
+      if (cfg.controller && rt) {
+        ctrl::AdaptationController& c = d.add_controller();
+        d.ctrl_watch(c, *link, *rt, ru);
+      }
+    }
+  }
+
+  if (cfg.neutral_host) {
+    Deployment& h = *host_dep;
+    Deployment& g = *city->cell(1).dep;
+
+    // Guest DU, homed in shard c1 but renting PRBs of c0's shared RU. Not
+    // engine-driven: the conductor steps it at virtual slot T+1. Its UL
+    // return frames arrive 2-3 virtual slots after their window opened,
+    // hence the widened matching window.
+    CellConfig gcell;
+    gcell.pci = std::uint16_t(kGuestPci);
+    gcell.bandwidth = MHz(40);
+    gcell.center_freq = aligned_du_center_frequency(
+        shared_center, shared_prbs, cell_prbs, kGuestOffset, cfg.scs);
+    Deployment::DuHandle gdu =
+        g.add_du(gcell, vendor, std::uint8_t(cfg.n_cells),
+                 /*engine_driven=*/false, /*ul_match_slots=*/4);
+
+    // Phantom copy of the shared RU site in the guest air: it never
+    // radiates (the real RU lives in the host shard), but it gives the
+    // guest cell a channel footprint so UE reports and UL resolution see
+    // the true path loss.
+    const RuSite shared_site = h.air.ru(shared_ru.id);
+    const int guest_off =
+        Deployment::prb_offset_in_ru(gdu.du->config().cell, shared_site);
+    const RuId phantom = g.air.add_ru(shared_site);
+    g.air.assign_ru(gdu.cell, phantom, guest_off);
+
+    // The guest UE exists twice: for real in the host air (attaches via
+    // the actual SSB/PRACH datapath through the shared RU) and as a
+    // mirror in the guest air (carries the offered traffic and the
+    // UL-authoritative counters). Same position, so both airs model the
+    // same geometry.
+    const Position gpos = cfg.campus.near_ru(0, 0, 1, 4.0);
+    const UeId mirror_ue =
+        g.add_ue(gpos, &gdu, cfg.dl_mbps, cfg.ul_mbps, kGuestPci);
+    city->cell(1).ues.push_back(mirror_ue);
+    const UeId real_ue = h.add_ue(gpos, nullptr, 0, 0, kGuestPci);
+    city->cell(0).ues.push_back(real_ue);
+
+    // The guest cell registered in the host air, radiated by the shared
+    // RU's rented slice.
+    const CellId mirror_cell = h.air.add_cell(gdu.du->config().cell);
+    h.air.assign_ru(mirror_cell, shared_ru.id, guest_off);
+
+    // Cross-shard conduit: guest DU port <-> xlink <-> share north1.
+    XLink& xl = city->add_xlink("xl:" + g.name_prefix + "du" +
+                                std::to_string(cfg.n_cells));
+    Port::connect(xl.a, *gdu.port, 500);
+
+    // RU-share middlebox in the host shard, hand-wired because tenant 1
+    // is a DuHandle of another shard (mirrors Deployment::add_rushare).
+    RuShareConfig sc;
+    sc.ru_mac = shared_ru.mac;
+    sc.ru_n_prb = shared_prbs;
+    sc.ru_center_freq = shared_site.center_freq;
+    ShareDu host_sd;
+    host_sd.mac = host_du.du->config().du_mac;
+    host_sd.du_id = host_du.du->config().du_id;
+    host_sd.n_prb = host_du.du->config().cell.n_prb();
+    host_sd.center_freq = host_du.du->config().cell.center_freq;
+    host_sd.prb_offset =
+        Deployment::prb_offset_in_ru(host_du.du->config().cell, shared_site);
+    sc.dus.push_back(host_sd);
+    h.air.assign_ru(host_du.cell, shared_ru.id, host_sd.prb_offset);
+    ShareDu guest_sd;
+    guest_sd.mac = gdu.du->config().du_mac;
+    guest_sd.du_id = gdu.du->config().du_id;
+    guest_sd.n_prb = gdu.du->config().cell.n_prb();
+    guest_sd.center_freq = gdu.du->config().cell.center_freq;
+    guest_sd.prb_offset = guest_off;
+    sc.dus.push_back(guest_sd);
+
+    auto app = std::make_unique<RuShareMiddlebox>(sc);
+    MiddleboxRuntime::Config rc;
+    rc.name = h.name_prefix + "rushare" + std::to_string(h.runtimes.size());
+    rc.cell = h.cell_label;
+    rc.fh = host_du.du->fh();
+    rc.fh.carrier_prbs = sc.ru_n_prb;
+    auto rt = std::make_unique<MiddleboxRuntime>(rc, *app);
+    Port& south = h.new_port(rc.name + ".south");
+    rt->add_port("south", south);  // index 0 == RuShareMiddlebox::kSouth
+    Port::connect(south, *shared_ru.port, 1'000);
+    Port& north0 = h.new_port(rc.name + ".north0");
+    rt->add_port("north0", north0, host_du.du->fh());
+    Port::connect(*host_du.port, north0, 1'000);
+    Port& north1 = h.new_port(rc.name + ".north1");
+    rt->add_port("north1", north1, gdu.du->fh());
+    Port::connect(xl.b, north1, 500);
+
+    h.engine.add_middlebox(*rt);
+    h.engine.bind_affinity(*shared_ru.ru, ru_flow_key(shared_ru.id));
+    h.engine.bind_affinity(*host_du.du, ru_flow_key(shared_ru.id));
+    h.engine.bind_affinity(static_cast<Pumpable&>(*rt),
+                           ru_flow_key(shared_ru.id));
+    MiddleboxRuntime* share_rt = rt.get();
+    h.apps.push_back(std::move(app));
+    h.runtimes.push_back(std::move(rt));
+
+    city->add_guest_du(1, *gdu.du);
+
+    NeutralHostShare s;
+    s.name = "share:" + h.cell_label + "<-" + g.cell_label;
+    s.guest_cell = 1;
+    s.host_cell = 0;
+    s.guest_du = gdu.du;
+    s.guest_cell_air = gdu.cell;
+    s.mirror_cell_air = mirror_cell;
+    s.mirror_ue = mirror_ue;
+    s.real_ue = real_ue;
+    city->add_share(s);
+
+    if (cfg.faults) {
+      FaultyLink* link = nullptr;
+      add_cell_faults(h, *host_du.port, cfg.fault_seed ^ 0xc0ffee, &link);
+      if (cfg.controller) {
+        ctrl::AdaptationController& c = h.add_controller();
+        h.ctrl_watch(c, *link, *share_rt, shared_ru);
+      }
+    }
+  }
+
+  city->finalize();
+  return city;
+}
+
+}  // namespace rb::city

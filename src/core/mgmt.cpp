@@ -29,6 +29,7 @@ constexpr VerbInfo kVerbs[] = {
     {"obs", "obs <cmd>: observability (trace|prom|csv|stats|start|stop)"},
     {"state", "state <save|load <hex>|info>: runtime checkpoint blob"},
     {"reconfig", "reconfig <cmd>: live reconfiguration (status|pending|log)"},
+    {"city", "city <cmd>: conductor (list|budget|rings|cell <name> <verb>)"},
 };
 
 std::string hex_encode(const std::vector<std::uint8_t>& blob) {
@@ -129,27 +130,35 @@ std::string MgmtEndpoint::handle(const std::string& cmd) {
     // (cache_evicted / cache_stale_dropped), failover hysteresis state
     // and controller actuation effects are scraped externally.
     const std::string mb = rt_->config().name;
+    // City mode namespaces every series with the runtime's cell shard;
+    // an empty label renders nothing, keeping single-cell output
+    // byte-identical to pre-city builds.
+    const std::string cl =
+        rt_->config().cell.empty()
+            ? std::string()
+            : ",cell=\"" + rt_->config().cell + "\"";
     std::ostringstream os;
     os << "# TYPE rb_mb_counter counter\n";
     for (const auto& [k, v] : rt_->telemetry().counters())
-      os << "rb_mb_counter{mb=\"" << mb << "\",name=\"" << k << "\"} " << v
-         << "\n";
+      os << "rb_mb_counter{mb=\"" << mb << "\"" << cl << ",name=\"" << k
+         << "\"} " << v << "\n";
     os << "# TYPE rb_mb_gauge gauge\n";
     for (const auto& [k, v] : rt_->telemetry().gauges())
-      os << "rb_mb_gauge{mb=\"" << mb << "\",name=\"" << k << "\"} " << v
-         << "\n";
+      os << "rb_mb_gauge{mb=\"" << mb << "\"" << cl << ",name=\"" << k
+         << "\"} " << v << "\n";
     // Burst-pipeline shape: packets drained per productive pump and
     // per-chunk descriptor occupancy, as native Prometheus histograms.
     const auto hist = [&](const char* name,
                           const MiddleboxRuntime::BurstHist& h) {
       os << "# TYPE " << name << " histogram\n";
       for (std::size_t i = 0; i < h.kLe.size(); ++i)
-        os << name << "_bucket{mb=\"" << mb << "\",le=\"" << h.kLe[i]
-           << "\"} " << h.bucket[i] << "\n";
-      os << name << "_bucket{mb=\"" << mb << "\",le=\"+Inf\"} " << h.count
+        os << name << "_bucket{mb=\"" << mb << "\"" << cl << ",le=\""
+           << h.kLe[i] << "\"} " << h.bucket[i] << "\n";
+      os << name << "_bucket{mb=\"" << mb << "\"" << cl << ",le=\"+Inf\"} "
+         << h.count << "\n";
+      os << name << "_sum{mb=\"" << mb << "\"" << cl << "} " << h.sum << "\n";
+      os << name << "_count{mb=\"" << mb << "\"" << cl << "} " << h.count
          << "\n";
-      os << name << "_sum{mb=\"" << mb << "\"} " << h.sum << "\n";
-      os << name << "_count{mb=\"" << mb << "\"} " << h.count << "\n";
     };
     hist("rb_burst_size", rt_->burst_size_hist());
     hist("rb_burst_occupancy", rt_->burst_occupancy_hist());
@@ -161,6 +170,13 @@ std::string MgmtEndpoint::handle(const std::string& cmd) {
     std::getline(is, rest);
     const std::size_t at = rest.find_first_not_of(' ');
     return ctrl_->ctrl_mgmt(at == std::string::npos ? "" : rest.substr(at));
+  }
+  if (verb == "city") {
+    if (!city_) return "no city conductor attached";
+    std::string rest;
+    std::getline(is, rest);
+    const std::size_t at = rest.find_first_not_of(' ');
+    return city_->city_mgmt(at == std::string::npos ? "" : rest.substr(at));
   }
   if (verb == "reconfig") {
     if (!reconfig_) return "no reconfig manager attached";

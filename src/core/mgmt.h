@@ -31,6 +31,16 @@ class ReconfigMgmtHandler {
   virtual std::string reconfig_mgmt(const std::string& cmd) = 0;
 };
 
+/// And for the city conductor (src/city, the top layer): the "city" mgmt
+/// verb delegates whole-city queries (cell list, slot budgets, cross-shard
+/// ring depths) and per-cell verb routing through this.
+class CityMgmtHandler {
+ public:
+  virtual ~CityMgmtHandler() = default;
+  /// Handle a "city <subcommand>" line (the verb already stripped).
+  virtual std::string city_mgmt(const std::string& cmd) = 0;
+};
+
 class MgmtEndpoint {
  public:
   explicit MgmtEndpoint(MiddleboxRuntime& rt) : rt_(&rt) {}
@@ -39,6 +49,8 @@ class MgmtEndpoint {
   void set_ctrl(CtrlMgmtHandler* ctrl) { ctrl_ = ctrl; }
   /// Attach the deployment's reconfig manager (enables "reconfig ...").
   void set_reconfig(ReconfigMgmtHandler* rc) { reconfig_ = rc; }
+  /// Attach the city conductor (enables "city ...").
+  void set_city(CityMgmtHandler* city) { city_ = city; }
 
   /// Handle one command line; returns the response text. Unknown verbs
   /// are forwarded to the app; if the app does not claim them either,
@@ -52,6 +64,7 @@ class MgmtEndpoint {
   MiddleboxRuntime* rt_;
   CtrlMgmtHandler* ctrl_ = nullptr;
   ReconfigMgmtHandler* reconfig_ = nullptr;
+  CityMgmtHandler* city_ = nullptr;
 };
 
 }  // namespace rb

@@ -235,6 +235,10 @@ class MiddleboxRuntime final : public Pumpable {
  public:
   struct Config {
     std::string name = "mb";
+    /// Cell shard this runtime belongs to (city mode). When non-empty,
+    /// Prometheus series rendered by the mgmt endpoint carry a
+    /// cell="<label>" label; empty keeps single-cell output byte-identical.
+    std::string cell;
     FhContext fh{};
     DriverKind driver = DriverKind::Dpdk;
     DriverCosts driver_costs{};

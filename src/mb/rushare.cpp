@@ -254,6 +254,10 @@ void RuShareMiddlebox::du_uplane(int du, PacketPtr p, FhFrame& frame,
           std::uint16_t(ducfg.prb_offset + sec.start_prb);
       os.num_prb = sec.num_prb + (cfg_.shift_sc ? 1 : 0);
       os.payload = buf;
+      // The slice keeps the DU's own compression (which may have been
+      // adapted away from the south port's default); without the override
+      // encode_uplane would size the copy at the egress width.
+      os.comp = sec.comp;
       out_secs.push_back(os);
     }
     if (!ok) break;
@@ -333,6 +337,9 @@ void RuShareMiddlebox::ru_uplane(PacketPtr p, FhFrame& frame, MbContext& ctx) {
     out_sec.start_prb = 0;
     out_sec.num_prb = ducfg.n_prb;
     out_sec.payload = payload;
+    // Demuxed bytes stay in the RU's compression; the north port may be
+    // running a different adapted width.
+    out_sec.comp = comp;
     PacketPtr out = ctx.alloc_packet();
     if (!out) continue;
     EthHeader eth = frame.eth;

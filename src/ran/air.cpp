@@ -531,6 +531,35 @@ void AirModel::reset_counters() {
   }
 }
 
+void AirModel::sync_ue_attach(UeId ue, bool attached, CellId serving) {
+  Ue& u = ues_[std::size_t(ue)];
+  if (attached) {
+    u.state = UeAttachState::Attached;
+    u.serving = serving;
+    u.prach_target = -1;
+    u.ssb_misses = 0;
+  } else {
+    u.state = UeAttachState::Idle;
+    u.serving = -1;
+    u.prach_target = -1;
+    u.ssb_misses = 0;
+  }
+}
+
+void AirModel::sync_ue_dl(UeId ue, std::uint64_t bits, std::uint64_t errors,
+                          std::uint64_t unradiated) {
+  Ue& u = ues_[std::size_t(ue)];
+  u.dl_bits = bits;
+  u.dl_errors = errors;
+  u.dl_unradiated = unradiated;
+}
+
+void AirModel::sync_ue_ul(UeId ue, std::uint64_t bits, std::uint64_t errors) {
+  Ue& u = ues_[std::size_t(ue)];
+  u.ul_bits = bits;
+  u.ul_errors = errors;
+}
+
 void AirModel::save_state(state::StateWriter& w) const {
   w.u32(std::uint32_t(cells_.size()));
   for (const Cell& c : cells_) {

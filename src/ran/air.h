@@ -211,6 +211,32 @@ class AirModel {
   CellId serving_cell(UeId ue) const { return ues_[std::size_t(ue)].serving; }
   int last_rank(UeId ue) const { return ues_[std::size_t(ue)].last_rank; }
 
+  // --- conductor bridge (city mode) ---------------------------------
+  // A neutral-host cell is simulated in two shards at once: the guest DU
+  // publishes into its home air model while the shared RU radiates in the
+  // host shard's air model. The city conductor reconciles the two views
+  // at the slot barrier (workers parked) through these accessors/setters;
+  // nothing else should call them. See DESIGN.md section 4j.
+  const std::vector<DlAlloc>& dl_allocs(CellId cell) const {
+    return cells_[std::size_t(cell)].dl_allocs;
+  }
+  const std::vector<UlAlloc>& ul_allocs(CellId cell) const {
+    return cells_[std::size_t(cell)].ul_allocs;
+  }
+  std::int64_t alloc_slot(CellId cell) const {
+    return cells_[std::size_t(cell)].alloc_slot;
+  }
+  /// Force a UE's attach machine: attached -> Attached/serving (resets
+  /// the RLF miss counter), detached -> Idle. Absolute overwrite.
+  void sync_ue_attach(UeId ue, bool attached, CellId serving);
+  /// Overwrite the DL-side result counters of a mirror UE with the
+  /// authoritative values from the shard that radiates its signal.
+  void sync_ue_dl(UeId ue, std::uint64_t bits, std::uint64_t errors,
+                  std::uint64_t unradiated);
+  /// Overwrite the UL-side result counters (authoritative in the guest
+  /// DU's home shard, mirrored into the host shard).
+  void sync_ue_ul(UeId ue, std::uint64_t bits, std::uint64_t errors);
+
   /// Noise floor amplitude (int16 scale) on the uplink.
   static constexpr double kNoiseRms = 400.0;
   /// DL transmit amplitude per antenna (int16 scale).

@@ -339,6 +339,15 @@ void DuModel::begin_slot(std::int64_t slot, std::int64_t slot_start_ns) {
     ul_allocs_ = sched_.schedule_ul(reports, ul_sym - 1);
     air_->publish_ul_alloc(cell_id_, slot, ul_allocs_);
     ul_alloc_slot_ = slot;
+    if (cfg_.ul_match_slots > 1) {
+      UlWindow w;
+      w.slot = slot;
+      w.at = at;
+      w.allocs = ul_allocs_;
+      ul_windows_.push_back(std::move(w));
+      while (ul_windows_.size() > std::size_t(cfg_.ul_match_slots))
+        ul_windows_.erase(ul_windows_.begin());
+    }
   }
   int dl_prbs = 0, ul_prbs = 0;
   for (const auto& a : dl_allocs_) dl_prbs += a.n_prb;
@@ -417,6 +426,24 @@ void DuModel::process_rx(std::int64_t slot, std::int64_t slot_start_ns) {
 
       // UL data: note the port's arrival; decode happens after the drain
       // once every expected antenna port is in.
+      if (cfg_.ul_match_slots > 1) {
+        // Windowed matching: attribute the frame to the UL slot it was
+        // scheduled for by SlotPoint (cross-shard frames arrive later
+        // than their allocation slot).
+        for (auto& w : ul_windows_) {
+          if (w.at.frame != u.at.frame || w.at.subframe != u.at.subframe ||
+              w.at.slot != u.at.slot)
+            continue;
+          w.ports_seen |= 1u << eaxc.ru_port;
+          w.fresh = true;
+          if (eaxc.ru_port == 0) {
+            w.port0_msgs.push_back(u);
+            w.port0_pkts.push_back(std::move(p));
+          }
+          break;
+        }
+        continue;
+      }
       if (ul_alloc_slot_ != slot) continue;
       ports_seen |= 1u << eaxc.ru_port;
       if (eaxc.ru_port == 0) {
@@ -428,8 +455,34 @@ void DuModel::process_rx(std::int64_t slot, std::int64_t slot_start_ns) {
   }
 
   const std::uint32_t expected = (1u << n_ports_) - 1;
+  if (cfg_.ul_match_slots > 1) {
+    // Resolve only windows that received packets in THIS call and have a
+    // complete port set — a still-incomplete or already-drained window
+    // must not re-run the decode gate (ul_decode_fail would re-count).
+    for (auto& w : ul_windows_) {
+      if (!w.fresh) continue;
+      w.fresh = false;
+      if ((w.ports_seen & expected) != expected) continue;
+      resolve_ul_allocs(w.slot, w.port0_pkts, w.port0_msgs, w.allocs,
+                        w.resolved);
+    }
+    return;
+  }
   if (ul_alloc_slot_ != slot || (ports_seen & expected) != expected) return;
+  resolve_ul_allocs(slot, port0_pkts, port0_msgs, ul_allocs_, ul_resolved_);
+}
 
+void DuModel::drop_pending_rx() {
+  ul_windows_.clear();
+  std::vector<PacketPtr> junk;
+  while (port_->rx_burst(junk, 64) > 0) junk.clear();
+}
+
+void DuModel::resolve_ul_allocs(std::int64_t slot,
+                                const std::vector<PacketPtr>& port0_pkts,
+                                const std::vector<UPlaneMsg>& port0_msgs,
+                                const std::vector<UlAlloc>& allocs,
+                                std::unordered_set<int>& resolved) {
   // Locate a PRB across the (possibly MTU-fragmented) section set and
   // measure its decompressed power.
   auto prb_power = [&](int prb, double* out) {
@@ -453,9 +506,9 @@ void DuModel::process_rx(std::int64_t slot, std::int64_t slot_start_ns) {
     return false;
   };
 
-  for (std::size_t ai = 0; ai < ul_allocs_.size(); ++ai) {
-    if (ul_resolved_.count(int(ai))) continue;
-    const auto& al = ul_allocs_[ai];
+  for (std::size_t ai = 0; ai < allocs.size(); ++ai) {
+    if (resolved.count(int(ai))) continue;
+    const auto& al = allocs[ai];
     // Sample up to three PRBs of the allocation for decode energy: this is
     // the integrity gate that catches middlebox IQ corruption.
     double acc = 0.0;
@@ -475,7 +528,7 @@ void DuModel::process_rx(std::int64_t slot, std::int64_t slot_start_ns) {
       continue;
     }
     air_->resolve_ul_alloc(cell_id_, slot, al);
-    ul_resolved_.insert(int(ai));
+    resolved.insert(int(ai));
   }
 }
 
@@ -518,6 +571,33 @@ void DuModel::save_state(state::StateWriter& w) const {
     w.u64(v);
   });
   w.b(failed_);
+  // Windowed UL history is serialized only when the config enables it, so
+  // single-slot DUs keep their historical blob layout byte-identical.
+  if (cfg_.ul_match_slots > 1) {
+    w.u32(std::uint32_t(ul_windows_.size()));
+    for (const auto& win : ul_windows_) {
+      w.i64(win.slot);
+      w.u8(win.at.frame);
+      w.u8(win.at.subframe);
+      w.u8(win.at.slot);
+      w.u8(win.at.symbol);
+      w.u32(std::uint32_t(win.allocs.size()));
+      for (const auto& al : win.allocs) {
+        w.i32(al.ue);
+        w.i32(al.start_prb);
+        w.i32(al.n_prb);
+        w.f64(al.assumed_sinr_db);
+        w.i64(al.tbs_bits);
+      }
+      std::vector<int> res(win.resolved.begin(), win.resolved.end());
+      std::sort(res.begin(), res.end());
+      w.u32(std::uint32_t(res.size()));
+      for (int i : res) w.i32(i);
+      w.u32(win.ports_seen);
+      w.u32(std::uint32_t(win.port0_pkts.size()));
+      for (const auto& p : win.port0_pkts) save_packet(w, *p);
+    }
+  }
 }
 
 void DuModel::load_state(state::StateReader& r) {
@@ -546,6 +626,39 @@ void DuModel::load_state(state::StateReader& r) {
     last_ul_errors_[k] = r.u64();
   }
   failed_ = r.b();
+  ul_windows_.clear();
+  if (cfg_.ul_match_slots > 1) {
+    for (std::uint32_t i = 0, n = r.count(16); i < n && r.ok(); ++i) {
+      UlWindow win;
+      win.slot = r.i64();
+      win.at.frame = r.u8();
+      win.at.subframe = r.u8();
+      win.at.slot = r.u8();
+      win.at.symbol = r.u8();
+      for (std::uint32_t a = 0, na = r.count(28); a < na && r.ok(); ++a) {
+        UlAlloc al;
+        al.ue = r.i32();
+        al.start_prb = r.i32();
+        al.n_prb = r.i32();
+        al.assumed_sinr_db = r.f64();
+        al.tbs_bits = r.i64();
+        win.allocs.push_back(al);
+      }
+      for (std::uint32_t a = 0, na = r.count(4); a < na && r.ok(); ++a)
+        win.resolved.insert(r.i32());
+      win.ports_seen = r.u32();
+      for (std::uint32_t a = 0, na = r.count(8); a < na && r.ok(); ++a) {
+        PacketPtr p = load_packet(r, *pool_);
+        if (!p) break;
+        auto frame = parse_frame(p->data(), fh_);
+        if (frame && frame->is_uplane()) {
+          win.port0_msgs.push_back(frame->uplane());
+          win.port0_pkts.push_back(std::move(p));
+        }
+      }
+      if (r.ok()) ul_windows_.push_back(std::move(win));
+    }
+  }
 }
 
 }  // namespace rb

@@ -30,6 +30,13 @@ struct DuConfig {
   /// Max fronthaul one-way delay (link + middlebox) before a packet is
   /// outside the reception window and dropped (paper: "a few tens of us").
   std::int64_t latency_budget_ns = 30'000;
+  /// How many recent UL slots stay eligible for U-plane matching. 1 (the
+  /// default) keeps the historical same-slot path byte-identical. City
+  /// mode sets >1 for neutral-host guest DUs whose UL frames cross a
+  /// shard boundary and arrive a couple of conductor slots after the
+  /// allocation was scheduled; frames are then matched to their slot by
+  /// SlotPoint instead of by arrival slot.
+  int ul_match_slots = 1;
 };
 
 struct DuStats {
@@ -54,6 +61,11 @@ class DuModel {
 
   /// Drain the port: UL data U-plane and PRACH. Call after RUs emitted.
   void process_rx(std::int64_t slot, std::int64_t slot_start_ns);
+
+  /// Release every packet the DU is holding (UL match windows, undrained
+  /// port queue). A DU fed across a shard boundary holds buffers owned by
+  /// another shard's pool; its owner calls this before that pool dies.
+  void drop_pending_rx();
 
   MacScheduler& scheduler() { return sched_; }
   const DuStats& stats() const { return stats_; }
@@ -132,10 +144,32 @@ class DuModel {
   std::vector<std::vector<std::uint8_t>> payload_store_;
   bool has_dl_sections_ = false;
 
+  /// Shared decode gate of the same-slot and windowed UL paths: sample
+  /// PRB energy from port-0 frames and credit decodable allocations.
+  void resolve_ul_allocs(std::int64_t slot,
+                         const std::vector<PacketPtr>& pkts,
+                         const std::vector<UPlaneMsg>& msgs,
+                         const std::vector<UlAlloc>& allocs,
+                         std::unordered_set<int>& resolved);
+
   std::vector<DlAlloc> dl_allocs_;   // published this slot
   std::vector<UlAlloc> ul_allocs_;
   std::unordered_set<int> ul_resolved_;  // alloc indices credited this slot
   std::int64_t ul_alloc_slot_ = -1;
+
+  /// Windowed UL matching (cfg_.ul_match_slots > 1 only): one entry per
+  /// recent UL slot, trimmed to the configured depth at begin_slot.
+  struct UlWindow {
+    std::int64_t slot = -1;
+    SlotPoint at{};
+    std::vector<UlAlloc> allocs;
+    std::unordered_set<int> resolved;
+    std::uint32_t ports_seen = 0;
+    std::vector<PacketPtr> port0_pkts;
+    std::vector<UPlaneMsg> port0_msgs;
+    bool fresh = false;  // received packets in the current process_rx call
+  };
+  std::vector<UlWindow> ul_windows_;
 
   std::unordered_map<std::uint16_t, std::uint8_t> seq_;
   std::unordered_map<UeId, std::uint64_t> last_dl_errors_;

@@ -15,7 +15,8 @@ namespace rb {
 void SlotEngine::run_one_slot_serial() {
   const std::int64_t slot = clock_.total_slots();
   const std::int64_t t0 = clock_.elapsed_ns();
-  obs::slot_spans(slot, t0, slot_duration_ns(clock_.scs()));
+  for (auto& h : pre_hooks_) h(slot, t0);
+  if (!external_obs_) obs::slot_spans(slot, t0, slot_duration_ns(clock_.scs()));
 
   air_->begin_slot(slot);
   if (traffic_) traffic_(slot);
@@ -39,9 +40,10 @@ void SlotEngine::run_one_slot_serial() {
   pump_all();
   for (auto* du : dus_) du->process_rx(slot, t0);
 
-  if (obs::enabled())
+  if (!external_obs_ && obs::enabled())
     obs::Collector::instance().commit_slot(slot, t0,
                                            slot_duration_ns(clock_.scs()));
+  for (auto& h : end_hooks_) h(slot);
 
   clock_.advance_slot();
   // advance_slot() is a no-op at symbol 0 of a fresh slot boundary; make
@@ -224,7 +226,8 @@ void SlotEngine::run_one_slot_parallel() {
 
   const std::int64_t slot = clock_.total_slots();
   const std::int64_t t0 = clock_.elapsed_ns();
-  obs::slot_spans(slot, t0, slot_duration_ns(clock_.scs()));
+  for (auto& h : pre_hooks_) h(slot, t0);
+  if (!external_obs_) obs::slot_spans(slot, t0, slot_duration_ns(clock_.scs()));
 
   // Single-threaded prologue: radio oracle, offered load, slot hooks.
   air_->begin_slot(slot);
@@ -277,9 +280,10 @@ void SlotEngine::run_one_slot_parallel() {
 
   // Slot barrier: workers are parked (pool_->run returned), so draining
   // their trace rings here is race-free.
-  if (obs::enabled())
+  if (!external_obs_ && obs::enabled())
     obs::Collector::instance().commit_slot(slot, t0,
                                            slot_duration_ns(clock_.scs()));
+  for (auto& h : end_hooks_) h(slot);
 
   clock_.advance_slot();
   if (clock_.total_slots() == slot) {

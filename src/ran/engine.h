@@ -97,6 +97,26 @@ class SlotEngine {
     begin_hooks_.push_back(std::move(hook));
   }
 
+  // --- conductor (city mode) integration -----------------------------
+  /// Pre-slot hooks run at the very top of every slot, before obs spans,
+  /// air begin_slot and traffic — i.e. at the exact instant the conductor
+  /// hands the shard its slot. The city conductor uses these to drive
+  /// guest entities (e.g. a neutral-host DU whose RU lives in another
+  /// cell shard) at their virtual offset. Args: (slot, slot_start_ns).
+  void add_pre_slot_hook(std::function<void(std::int64_t, std::int64_t)> h) {
+    pre_hooks_.push_back(std::move(h));
+  }
+  /// End-slot hooks run after the slot's work completes, before the clock
+  /// advances. The conductor uses these for per-cell slot accounting.
+  void add_end_slot_hook(std::function<void(std::int64_t)> h) {
+    end_hooks_.push_back(std::move(h));
+  }
+  /// When an external conductor owns observability (city mode), the
+  /// engine must not emit slot spans or commit the process-wide obs
+  /// collector itself — the conductor does both once per city slot at
+  /// the barrier. Default off (single-engine behaviour unchanged).
+  void set_external_obs(bool on) { external_obs_ = on; }
+
   void run_slots(int n);
   /// Run for a simulated duration.
   void run_ms(double ms);
@@ -155,6 +175,9 @@ class SlotEngine {
   std::vector<Pumpable*> mbs_;
   std::function<void(std::int64_t)> traffic_;
   std::vector<std::function<void(std::int64_t)>> begin_hooks_;
+  std::vector<std::function<void(std::int64_t, std::int64_t)>> pre_hooks_;
+  std::vector<std::function<void(std::int64_t)>> end_hooks_;
+  bool external_obs_ = false;
 
   exec::ExecPolicy policy_{};
   std::unique_ptr<exec::WorkerPool> pool_;

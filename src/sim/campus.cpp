@@ -1,0 +1,12 @@
+#include "sim/campus.h"
+
+namespace rb {
+
+std::vector<Position> Campus::walk_route(int b, int floor, int nx,
+                                         int ny) const {
+  std::vector<Position> route = building.walk_route(floor, nx, ny);
+  for (Position& p : route) p = translate(b, p);
+  return route;
+}
+
+}  // namespace rb

@@ -1,0 +1,64 @@
+// Campus: the multi-building generalization of Floorplan (city mode).
+//
+// A campus composes per-building floorplans on a placement grid: building
+// b sits at a grid cell (row-major), and every Floorplan query is
+// available translated into campus coordinates. One building hosts one
+// cell shard in the city topology (CityBuilder), matching the paper's
+// dense-deployment story: many sectors, one box.
+#pragma once
+
+#include <vector>
+
+#include "sim/floorplan.h"
+
+namespace rb {
+
+struct Campus {
+  /// Per-building layout (identical template; heterogeneous campuses can
+  /// resize `width_m`/`floors` after construction).
+  Floorplan building{};
+  /// Placement grid pitch. Defaults leave >= 30 m of street between
+  /// buildings, enough path loss that neighbour cells barely interfere.
+  double grid_dx_m = 90.0;
+  double grid_dy_m = 60.0;
+  /// Buildings per grid row (row-major placement).
+  int grid_cols = 8;
+
+  /// South-west corner of building `b` in campus coordinates.
+  Position building_origin(int b) const {
+    Position p;
+    p.x = double(b % grid_cols) * grid_dx_m;
+    p.y = double(b / grid_cols) * grid_dy_m;
+    p.floor = 0;
+    return p;
+  }
+
+  /// Floorplan::ru_position translated into building `b`'s footprint.
+  Position ru_position(int b, int floor, int idx) const {
+    return translate(b, building.ru_position(floor, idx));
+  }
+
+  /// Floorplan::near_ru translated into building `b`'s footprint.
+  Position near_ru(int b, int floor, int idx, double d) const {
+    return translate(b, building.near_ru(floor, idx, d));
+  }
+
+  /// Serpentine measurement walk across one floor of building `b`.
+  std::vector<Position> walk_route(int b, int floor, int nx = 16,
+                                   int ny = 4) const;
+
+  /// Translate a building-local position into campus coordinates.
+  Position translate(int b, Position p) const {
+    const Position o = building_origin(b);
+    p.x += o.x;
+    p.y += o.y;
+    return p;
+  }
+
+  /// Total floor area over `n_buildings` buildings.
+  double area_sqft(int n_buildings) const {
+    return building.area_sqft() * double(n_buildings);
+  }
+};
+
+}  // namespace rb

@@ -30,7 +30,9 @@ EmbeddedSwitch& Deployment::new_switch(const std::string& name) {
 
 Deployment::DuHandle Deployment::add_du(CellConfig cell,
                                         const VendorProfile& vendor,
-                                        std::uint8_t du_index) {
+                                        std::uint8_t du_index,
+                                        bool engine_driven,
+                                        int ul_match_slots) {
   cell.finalize();
   cell.tdd = vendor.tdd;
   // PRACH occasions must land on a full uplink slot of the vendor's TDD
@@ -48,9 +50,10 @@ Deployment::DuHandle Deployment::add_du(CellConfig cell,
   cfg.du_mac = MacAddr::du(du_index);
   cfg.ru_mac = MacAddr::ru(du_index);  // logical; middleboxes re-steer
   cfg.du_id = du_index;
-  Port& port = new_port("du" + std::to_string(du_index));
+  cfg.ul_match_slots = ul_match_slots;
+  Port& port = new_port(name_prefix + "du" + std::to_string(du_index));
   dus.push_back(std::make_unique<DuModel>(cfg, air, cid, port));
-  engine.add_du(*dus.back());
+  if (engine_driven) engine.add_du(*dus.back());
   DuHandle h;
   h.du = dus.back().get();
   h.port = &port;
@@ -68,7 +71,7 @@ Deployment::RuHandle Deployment::add_ru(const RuSite& site,
   cfg.ru_mac = MacAddr::ru(ru_index);
   cfg.fh = fh;
   cfg.fh.carrier_prbs = prbs_for_bandwidth(site.bandwidth, Scs::kHz30);
-  Port& port = new_port("ru" + std::to_string(ru_index));
+  Port& port = new_port(name_prefix + "ru" + std::to_string(ru_index));
   rus.push_back(std::make_unique<RuModel>(cfg, air, rid, port));
   engine.add_ru(*rus.back());
   RuHandle h;
@@ -105,7 +108,8 @@ MiddleboxRuntime& Deployment::add_das(DuHandle& du,
   auto app = std::make_unique<DasMiddlebox>(cfg);
 
   MiddleboxRuntime::Config rc;
-  rc.name = "das" + std::to_string(runtimes.size());
+  rc.name = name_prefix + "das" + std::to_string(runtimes.size());
+  rc.cell = cell_label;
   rc.fh = du.du->fh();
   rc.driver = driver;
   rc.n_workers = workers;
@@ -165,7 +169,8 @@ MiddleboxRuntime& Deployment::add_dmimo(DuHandle& du,
   auto app = std::make_unique<DmimoMiddlebox>(cfg);
 
   MiddleboxRuntime::Config rc;
-  rc.name = "dmimo" + std::to_string(runtimes.size());
+  rc.name = name_prefix + "dmimo" + std::to_string(runtimes.size());
+  rc.cell = cell_label;
   rc.fh = du.du->fh();
   rc.driver = driver;
   auto rt = std::make_unique<MiddleboxRuntime>(rc, *app);
@@ -219,7 +224,8 @@ MiddleboxRuntime& Deployment::add_rushare(const std::vector<DuHandle*>& du_list,
   auto app = std::make_unique<RuShareMiddlebox>(cfg);
 
   MiddleboxRuntime::Config rc;
-  rc.name = "rushare" + std::to_string(runtimes.size());
+  rc.name = name_prefix + "rushare" + std::to_string(runtimes.size());
+  rc.cell = cell_label;
   // South-side framing: the RU's carrier defines numPrbu==0 semantics.
   rc.fh = du_list.front()->du->fh();
   rc.fh.carrier_prbs = cfg.ru_n_prb;
@@ -252,7 +258,8 @@ MiddleboxRuntime& Deployment::add_prbmon(DuHandle& du, RuHandle& ru,
   auto app = std::make_unique<PrbMonitorMiddlebox>(cfg);
 
   MiddleboxRuntime::Config rc;
-  rc.name = "prbmon" + std::to_string(runtimes.size());
+  rc.name = name_prefix + "prbmon" + std::to_string(runtimes.size());
+  rc.cell = cell_label;
   rc.fh = du.du->fh();
   rc.driver = driver;
   auto rt = std::make_unique<MiddleboxRuntime>(rc, *app);
@@ -284,7 +291,8 @@ MiddleboxRuntime& Deployment::add_failover(DuHandle& primary,
   auto app = std::make_unique<FailoverMiddlebox>(cfg);
 
   MiddleboxRuntime::Config rc;
-  rc.name = "failover" + std::to_string(runtimes.size());
+  rc.name = name_prefix + "failover" + std::to_string(runtimes.size());
+  rc.cell = cell_label;
   rc.fh = primary.du->fh();
   rc.driver = driver;
   auto rt = std::make_unique<MiddleboxRuntime>(rc, *app);
@@ -335,7 +343,7 @@ std::string Deployment::fault_dump() const {
 
 ctrl::AdaptationController& Deployment::add_controller(ctrl::CtrlConfig cfg) {
   if (cfg.name == "ctrl")
-    cfg.name = "ctrl" + std::to_string(controllers.size());
+    cfg.name = name_prefix + "ctrl" + std::to_string(controllers.size());
   controllers.push_back(
       std::make_unique<ctrl::AdaptationController>(std::move(cfg)));
   ctrl::AdaptationController* c = controllers.back().get();

@@ -44,9 +44,14 @@ class Deployment {
 
   // --- building blocks ------------------------------------------------
   /// Create a DU + cell. The cell is registered with the AirModel; the
-  /// fronthaul context is derived from the vendor profile.
+  /// fronthaul context is derived from the vendor profile. City mode can
+  /// build a DU that the engine does NOT drive (`engine_driven = false`):
+  /// a neutral-host guest DU stepped by the conductor at a virtual slot
+  /// offset instead; `ul_match_slots > 1` widens its UL matching window
+  /// (see DuConfig::ul_match_slots).
   DuHandle add_du(CellConfig cell, const VendorProfile& vendor,
-                  std::uint8_t du_index);
+                  std::uint8_t du_index, bool engine_driven = true,
+                  int ul_match_slots = 1);
 
   /// Create an RU at a site. `fh` must match the driving DU's framing.
   RuHandle add_ru(const RuSite& site, std::uint8_t ru_index,
@@ -135,6 +140,14 @@ class Deployment {
   static int prb_offset_in_ru(const CellConfig& du_cell, const RuSite& ru);
 
   // --- members (public on purpose: experiments poke at everything) -----
+  /// City mode: prepended to every generated port/switch/runtime/ctrl
+  /// name (e.g. "c3/") so names stay unique across cell shards. Set
+  /// before building; empty (the default) changes nothing.
+  std::string name_prefix;
+  /// City mode: stamped into every runtime's Config::cell so telemetry
+  /// and Prometheus series carry a cell label. Empty = no label.
+  std::string cell_label;
+
   AirModel air;
   SlotEngine engine;
   TrafficGen traffic;

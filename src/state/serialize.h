@@ -56,6 +56,8 @@ enum SectionId : std::uint32_t {
   kSecRuntime = 9,   // one per MiddleboxRuntime: telemetry, cache, app
   kSecCtrl = 10,     // one per ctrl::AdaptationController
   kSecSwitch = 11,   // one per EmbeddedSwitch: learned FDB + port stats
+  kSecCityMeta = 12,  // city conductor: cell count, city slot, bridge state
+  kSecCityCell = 13,  // one per cell: name + nested deployment checkpoint
 };
 
 /// Append-only section writer. Usage:
