@@ -38,6 +38,9 @@ struct WorkCosts {
   double forward_ns = 80;
   double clone_per_kb_ns = 40;
   double clone_base_ns = 100;
+  /// Zero-copy replicate (refcount bump + private-head copy) - the cheap
+  /// path replication takes when the frame is payload-share eligible.
+  double replicate_ref_ns = 28;
   double cache_op_ns = 35;
   double hdr_rewrite_ns = 25;
   double per_prb_decompress_ns = 4.3;
@@ -74,6 +77,8 @@ struct FrameInfo {
   std::uint64_t cache_key = 0;  // PacketCache::key(at, eaxc, cplane, frag_tag)
   std::uint16_t start_prb = 0;  // first section's PRB range
   std::uint16_t num_prb = 0;
+  std::uint16_t payload_off = 0;  // first U section's payload offset/length
+  std::uint16_t payload_len = 0;  // (zero-copy replicate eligibility)
   std::uint8_t n_sections = 0;  // saturated at 255
   std::uint8_t frag_tag = 0;  // first U section's start_prb & 0xff (DAS
                               // fragment pairing)

@@ -40,7 +40,8 @@ void MbContext::forward(PacketPtr p, int out_port,
   const double c0 = cost_ns_;
   const std::size_t len = p->len();
   if (dst || src) {
-    rewrite_eth_addrs(p->raw().first(p->len()), dst, src);
+    // MAC rewrites land in a replica's private head - no CoW promotion.
+    rewrite_eth_addrs(p->mutable_prefix(14), dst, src);
     cost_ns_ += rt_->cfg_.work.hdr_rewrite_ns;
   }
   cost_ns_ += rt_->cfg_.work.forward_ns;
@@ -58,13 +59,28 @@ void MbContext::drop(PacketPtr p) {
 
 PacketPtr MbContext::replicate(const Packet& p) {
   const double c0 = cost_ns_;
-  PacketPtr c = rt_->pool_.clone(p);
+  // Zero-copy eligibility: a single-section U-plane frame whose payload
+  // runs to the end of the frame. The replica then carries only the bytes
+  // up to the payload start privately (eth + eCPRI + app + section
+  // headers, the per-egress-rewritten region) and refcounts the rest.
+  // C-plane, multi-section and padded frames take the deep-copy path.
+  // Eligibility depends only on parsed frame facts, so serial and
+  // parallel runs pick the same path packet-for-packet.
+  std::size_t split = 0;
+  if (info_ != nullptr && !info_->cplane && info_->n_sections == 1 &&
+      info_->payload_len > 0 &&
+      std::size_t(info_->payload_off) + info_->payload_len == p.len())
+    split = info_->payload_off;
+  PacketPtr c = split > 0 ? rt_->pool_.replicate(p, split) : rt_->pool_.clone(p);
   if (!c) {
     rt_->telemetry_.inc(rt_->hot_.replicate_failures);
     return nullptr;
   }
-  cost_ns_ += rt_->cfg_.work.clone_base_ns +
-              rt_->cfg_.work.clone_per_kb_ns * double(p.len()) / 1024.0;
+  if (c->shares_payload())
+    cost_ns_ += rt_->cfg_.work.replicate_ref_ns;
+  else
+    cost_ns_ += rt_->cfg_.work.clone_base_ns +
+                rt_->cfg_.work.clone_per_kb_ns * double(p.len()) / 1024.0;
   rt_->telemetry_.inc(rt_->hot_.pkts_replicated);
   trace_action(obs::kNA2Replicate, c0, p.len());
   return c;
@@ -85,7 +101,9 @@ bool MbContext::rewrite_eaxc(Packet& p, const EaxcId& eaxc) {
   const double c0 = cost_ns_;
   cost_ns_ += rt_->cfg_.work.hdr_rewrite_ns;
   trace_action(obs::kNA4Rewrite, c0);
-  return ::rb::rewrite_eaxc(p.raw().first(p.len()), eaxc);
+  // eAxC lives at most 24 bytes in (VLAN-tagged eCPRI header) - always
+  // inside a replica's private head.
+  return ::rb::rewrite_eaxc(p.mutable_prefix(24), eaxc);
 }
 
 std::uint8_t MbContext::prb_exponent(const Packet& p, const USection& sec,
@@ -94,7 +112,7 @@ std::uint8_t MbContext::prb_exponent(const Packet& p, const USection& sec,
   const std::size_t off =
       sec.payload_offset + std::size_t(prb) * sec.comp.prb_bytes();
   if (off >= p.len()) return 0;
-  return bfp_wire_exponent(p.data().subspan(off));
+  return bfp_wire_exponent(p.bytes(off));
 }
 
 std::size_t MbContext::merge_payloads(
@@ -298,6 +316,8 @@ void MiddleboxRuntime::classify_frame(const FhFrame& f, FrameInfo& info) {
   info.cplane = f.is_cplane();
   info.start_prb = 0;
   info.num_prb = 0;
+  info.payload_off = 0;
+  info.payload_len = 0;
   info.frag_tag = 0;
   if (info.cplane) {
     const CPlaneMsg& c = f.cplane();
@@ -325,6 +345,8 @@ void MiddleboxRuntime::classify_frame(const FhFrame& f, FrameInfo& info) {
       info.comp = s0.comp;
       info.start_prb = s0.start_prb;
       info.num_prb = std::uint16_t(s0.num_prb);
+      info.payload_off = std::uint16_t(s0.payload_offset);
+      info.payload_len = std::uint16_t(s0.payload_len);
       info.frag_tag = std::uint8_t(s0.start_prb & 0xff);
     } else {
       info.comp = CompConfig{};

@@ -208,8 +208,8 @@ void DasMiddlebox::combine_group(std::uint64_t key, MbContext& ctx) {
         ok = false;
         break;
       }
-      srcs.push_back(e->pkt->data().subspan(esec[si].payload_offset,
-                                            esec[si].payload_len));
+      srcs.push_back(
+          e->pkt->bytes(esec[si].payload_offset, esec[si].payload_len));
       src_comps.push_back(esec[si].comp);
     }
     if (!ok) break;

@@ -154,8 +154,8 @@ void DmimoMiddlebox::downlink(PacketPtr p, FhFrame& frame, MbContext& ctx) {
       const USection* dst_sec = find_ssb_section(u);
       if (src_sec && dst_sec) {
         ctx.copy_prbs(
-            cached.front().pkt->data().subspan(src_sec->payload_offset,
-                                               src_sec->payload_len),
+            cached.front().pkt->bytes(src_sec->payload_offset,
+                                      src_sec->payload_len),
             cfg_.ssb_start_prb - src_sec->start_prb,
             p->raw().subspan(dst_sec->payload_offset, dst_sec->payload_len),
             cfg_.ssb_start_prb - dst_sec->start_prb, cfg_.ssb_n_prb,

@@ -244,8 +244,7 @@ void RuShareMiddlebox::du_uplane(int du, PacketPtr p, FhFrame& frame,
           std::size_t(sec.num_prb + (cfg_.shift_sc ? 1 : 0)) * prb_sz, 0);
       auto& buf = payloads.back();
       ok = ok && copy_slice(ctx,
-                            e.pkt->data().subspan(sec.payload_offset,
-                                                  sec.payload_len),
+                            e.pkt->bytes(sec.payload_offset, sec.payload_len),
                             0, buf, 0, sec.num_prb, sec.comp);
       if (!ok) break;
       USectionData os;
@@ -323,7 +322,7 @@ void RuShareMiddlebox::ru_uplane(PacketPtr p, FhFrame& frame, MbContext& ctx) {
     const std::size_t prb_sz = comp.prb_bytes();
     std::vector<std::uint8_t> payload(std::size_t(ducfg.n_prb) * prb_sz);
     if (!copy_slice(ctx,
-                    p->data().subspan(sec.payload_offset, sec.payload_len),
+                    p->bytes(sec.payload_offset, sec.payload_len),
                     ducfg.prb_offset - sec.start_prb, payload, 0, ducfg.n_prb,
                     comp)) {
       ctx.telemetry().inc("rushare_demux_failures");
@@ -415,7 +414,7 @@ void RuShareMiddlebox::ru_prach_uplane(PacketPtr p, FhFrame& frame,
     }
     const std::size_t prb_sz = sec.comp.prb_bytes();
     std::vector<std::uint8_t> payload(std::size_t(sec.num_prb) * prb_sz);
-    if (!ctx.copy_prbs(p->data().subspan(sec.payload_offset, sec.payload_len),
+    if (!ctx.copy_prbs(p->bytes(sec.payload_offset, sec.payload_len),
                        0, payload, 0, sec.num_prb, sec.comp))
       continue;
     UPlaneMsg hdr;

@@ -22,7 +22,10 @@ void EmbeddedSwitch::add_static_entry(const MacAddr& mac, const Port& port) {
 
 void EmbeddedSwitch::on_rx(std::size_t in_port, PacketPtr p) {
   auto frame = p->data();
-  if (frame.size() < 14) return;  // runt, drop
+  if (frame.size() < 14) {  // runt, drop
+    ++runt_dropped_;
+    return;
+  }
   MacAddr dst, src;
   std::copy(frame.begin(), frame.begin() + 6, dst.bytes.begin());
   std::copy(frame.begin() + 6, frame.begin() + 12, src.bytes.begin());
@@ -43,14 +46,23 @@ void EmbeddedSwitch::on_rx(std::size_t in_port, PacketPtr p) {
     ports_[out]->send(std::move(p));
     return;
   }
-  // Flood to all ports except ingress.
+  // Flood to all ports except ingress: zero-copy alias replicas for all
+  // egresses but the last, which gets the original packet itself.
   ++flooded_;
-  PacketPool& pool = PacketPool::default_pool();
-  for (std::size_t i = 0; i < ports_.size(); ++i) {
+  std::size_t last = SIZE_MAX;
+  for (std::size_t i = ports_.size(); i-- > 0;) {
+    if (i != in_port) {
+      last = i;
+      break;
+    }
+  }
+  if (last == SIZE_MAX) return;  // no egress ports
+  for (std::size_t i = 0; i < last; ++i) {
     if (i == in_port) continue;
-    PacketPtr copy = pool.clone(*p);
+    PacketPtr copy = p->pool()->replicate(*p, 0);
     if (copy) ports_[i]->send(std::move(copy));
   }
+  ports_[last]->send(std::move(p));
 }
 
 
@@ -66,6 +78,7 @@ void EmbeddedSwitch::save_state(state::StateWriter& w) const {
   }
   w.u64(flooded_);
   w.u64(forwarded_);
+  w.u64(runt_dropped_);
   w.u32(std::uint32_t(ports_.size()));
   for (const auto& p : ports_) p->save_state(w);
 }
@@ -84,6 +97,7 @@ void EmbeddedSwitch::load_state(state::StateReader& r) {
   }
   flooded_ = r.u64();
   forwarded_ = r.u64();
+  runt_dropped_ = r.u64();
   if (r.count(1) != ports_.size()) {
     r.fail(state::StateError::kMismatch);
     return;

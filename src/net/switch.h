@@ -33,6 +33,7 @@ class EmbeddedSwitch {
   std::size_t num_ports() const { return ports_.size(); }
   std::uint64_t flooded() const { return flooded_; }
   std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t runt_dropped() const { return runt_dropped_; }
 
   /// Per-hop forwarding latency added to packets (models switch + PCIe
   /// cost for the embedded NIC switch case).
@@ -55,6 +56,7 @@ class EmbeddedSwitch {
   std::int64_t hop_latency_ns_ = 500;
   std::uint64_t flooded_ = 0;
   std::uint64_t forwarded_ = 0;
+  std::uint64_t runt_dropped_ = 0;
 };
 
 }  // namespace rb

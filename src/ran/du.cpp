@@ -411,7 +411,7 @@ void DuModel::process_rx(std::int64_t slot, std::int64_t slot_start_ns) {
           if (sec.section_id != cfg_.du_id) continue;
           if (sec.payload_offset + sec.payload_len > p->len()) continue;
           std::array<IqSample, kScPerPrb> prb{};
-          auto payload = p->data().subspan(sec.payload_offset);
+          auto payload = p->bytes(sec.payload_offset);
           if (!bfp_decompress_prb(payload, sec.comp.iq_width,
                                   IqSpan(prb.data(), prb.size())))
             continue;
@@ -495,7 +495,7 @@ void DuModel::resolve_ul_allocs(std::int64_t slot,
             sec.payload_offset + std::size_t(prb - sec.start_prb) * prb_sz;
         if (off + prb_sz > port0_pkts[pi]->len()) return false;
         std::array<IqSample, kScPerPrb> buf{};
-        if (!bfp_decompress_prb(port0_pkts[pi]->data().subspan(off),
+        if (!bfp_decompress_prb(port0_pkts[pi]->bytes(off),
                                 sec.comp.iq_width,
                                 IqSpan(buf.data(), buf.size())))
           return false;

@@ -133,7 +133,7 @@ void RuModel::process_dl(std::int64_t slot, std::int64_t slot_start_ns) {
           continue;
         }
         const std::size_t prb_sz = sec.comp.prb_bytes();
-        auto payload = p->data().subspan(sec.payload_offset, sec.payload_len);
+        auto payload = p->bytes(sec.payload_offset, sec.payload_len);
         // Scan BFP exponents to find energized PRBs (no decompression).
         int run_start = -1;
         for (int k = 0; k <= sec.num_prb; ++k) {

@@ -509,6 +509,74 @@ TEST(ZeroAlloc, BurstPumpSteadyState) {
   EXPECT_EQ(rt.pool().in_use(), 0u);
 }
 
+/// DAS-style DL fan-out: replicates every frame to three south ports and
+/// forwards the original. Exercises the zero-copy replicate path.
+class FanoutSouthApp final : public MiddleboxApp {
+ public:
+  std::string name() const override { return "fanout"; }
+  void on_frame(int, PacketPtr p, FhFrame&, MbContext& ctx) override {
+    for (int port = 1; port <= 3; ++port) {
+      auto r = ctx.replicate(*p);
+      if (r) ctx.forward(std::move(r), port);
+    }
+    ctx.forward(std::move(p), 1);
+  }
+};
+
+TEST(ZeroAlloc, ReplicatedDasPumpSteadyState) {
+  // A warm pump whose app fans each jumbo U-plane frame out to three
+  // egresses must stay allocation-free: replicas are refcount attaches
+  // drawn from the pool magazine, not heap copies.
+  FanoutSouthApp app;
+  MiddleboxRuntime::Config cfg;
+  cfg.name = "zeroalloc_rep";
+  MiddleboxRuntime rt(cfg, app);
+  Port in{"in"}, s1{"s1"}, s2{"s2"}, s3{"s3"}, src{"src"};
+  rt.add_port("north", in);
+  rt.add_port("south1", s1);  // unwired: forwards die at TX
+  rt.add_port("south2", s2);
+  rt.add_port("south3", s3);
+  Port::connect(src, in, 0);
+
+  // Jumbo single-section U-plane frame whose payload runs to the end of
+  // the frame: zero-copy replicate eligible.
+  FhContext fh;
+  std::vector<std::uint8_t> payload(
+      fh.comp.prb_bytes() * std::size_t(fh.carrier_prbs), 0x5a);
+  UPlaneMsg u;
+  u.direction = Direction::Downlink;
+  USectionData sec;
+  sec.num_prb = fh.carrier_prbs;
+  sec.payload = payload;
+  std::vector<std::uint8_t> tmpl(9216);
+  tmpl.resize(build_uplane_frame(tmpl, EthHeader{}, EaxcId{}, 0, u,
+                                 std::span(&sec, 1), fh));
+  ASSERT_GT(tmpl.size(), 1000u);
+
+  constexpr int kBurst = 16;
+  for (int iter = 0; iter < 8; ++iter) {
+    for (int k = 0; k < kBurst; ++k) {
+      PacketPtr p = rt.pool().alloc();
+      ASSERT_TRUE(p);
+      std::copy(tmpl.begin(), tmpl.end(), p->raw().begin());
+      p->set_len(tmpl.size());
+      p->rx_time_ns = k;
+      ASSERT_TRUE(src.send(std::move(p)));
+    }
+    if (iter < 3) {  // warm descriptor, magazines, TX staging
+      ASSERT_TRUE(rt.pump(0, 0));
+      continue;
+    }
+    const std::uint64_t before = allocs();
+    ASSERT_TRUE(rt.pump(0, 0));
+    EXPECT_EQ(allocs(), before) << "iteration " << iter;
+  }
+  // Every replica took the zero-copy path.
+  EXPECT_EQ(rt.pool().replicas_zero_copy(), 8u * kBurst * 3u);
+  EXPECT_EQ(rt.telemetry().counter("pkts_replicated"), 8u * kBurst * 3u);
+  EXPECT_EQ(rt.pool().in_use(), 0u);
+}
+
 TEST(ZeroAlloc, PacketPoolMagazineSteadyState) {
   PacketPool pool(64);
   // Warm this thread's magazine.
